@@ -1,0 +1,75 @@
+// Figures 17 & 21 (case studies): pattern-densest subgraphs found on the
+// S-DBLP co-authorship replica (triangle vs 2-star) and the Yeast PPI
+// replica (edge, c3-star, 2-triangle, 4-clique).
+//
+// Paper's claims to reproduce qualitatively: the triangle PDS is a compact
+// near-clique (a tight collaboration group); the 2-star PDS is hub-centred
+// (group directors linked to many students) — so the two vertex sets differ
+// and the 2-star PDS contains higher-degree vertices on average. On Yeast,
+// different motifs select different subnetworks.
+#include <cstdio>
+
+#include "dsd/core_exact.h"
+#include "dsd/measure.h"
+#include "graph/subgraph.h"
+#include "harness/datasets.h"
+#include "harness/report.h"
+
+namespace dsd::bench {
+namespace {
+
+void Describe(const Graph& g, const std::string& label,
+              const DensestResult& r) {
+  double avg_degree = 0;
+  for (VertexId v : r.vertices) avg_degree += static_cast<double>(g.Degree(v));
+  if (!r.vertices.empty()) avg_degree /= static_cast<double>(r.vertices.size());
+  Subgraph sub = InducedSubgraph(g, r.vertices);
+  double internal_density =
+      r.vertices.size() >= 2
+          ? 2.0 * static_cast<double>(sub.graph.NumEdges()) /
+                (static_cast<double>(r.vertices.size()) *
+                 (static_cast<double>(r.vertices.size()) - 1))
+          : 0.0;
+  std::printf(
+      "  %-12s |V|=%-4zu rho=%-9s avg_deg(G)=%-7s clique-ness=%s\n",
+      label.c_str(), r.vertices.size(), FormatDouble(r.density, 2).c_str(),
+      FormatDouble(avg_degree, 1).c_str(),
+      FormatDouble(internal_density, 2).c_str());
+}
+
+void Run() {
+  {
+    Graph g = MakeSDblp();
+    Banner("Figure 17: S-DBLP case study (triangle vs 2-star PDS)");
+    PatternOracle triangle{Pattern::Triangle()};
+    PatternOracle two_star{Pattern::TwoStar()};
+    DensestResult tri = CorePExact(g, triangle);
+    DensestResult star = CorePExact(g, two_star);
+    Describe(g, "triangle", tri);
+    Describe(g, "2-star", star);
+    bool same = tri.vertices == star.vertices;
+    std::printf("  vertex sets identical: %s (paper: different)\n",
+                same ? "yes" : "no");
+  }
+  {
+    Graph g = MakeYeast();
+    Banner("Figure 21: Yeast PPI case study (four motifs)");
+    PatternOracle edge{Pattern::EdgePattern()};
+    PatternOracle paw{Pattern::C3Star()};
+    PatternOracle two_tri{Pattern::TwoTriangle()};
+    PatternOracle four_clique{Pattern::Clique(4)};
+    Describe(g, "edge", CorePExact(g, edge));
+    Describe(g, "c3-star", CorePExact(g, paw));
+    Describe(g, "2-triangle", CorePExact(g, two_tri));
+    Describe(g, "4-clique", CorePExact(g, four_clique));
+  }
+}
+
+}  // namespace
+}  // namespace dsd::bench
+
+int main() {
+  std::printf("Figures 17/21: pattern-densest subgraph case studies\n");
+  dsd::bench::Run();
+  return 0;
+}

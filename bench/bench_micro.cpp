@@ -1,0 +1,120 @@
+// Micro-benchmarks (google-benchmark) for the substrates: k-core
+// decomposition, clique enumeration, motif-core peeling, max-flow, pattern
+// matching. These are throughput baselines for regressions, not paper
+// figures.
+#include <benchmark/benchmark.h>
+
+#include "clique/clique_enumerator.h"
+#include "core/kcore.h"
+#include "dsd/core_app.h"
+#include "dsd/core_exact.h"
+#include "dsd/motif_core.h"
+#include "dsd/motif_oracle.h"
+#include "flow/max_flow.h"
+#include "graph/generators.h"
+#include "pattern/isomorphism.h"
+#include "pattern/special.h"
+
+namespace dsd {
+namespace {
+
+Graph BenchGraph(int64_t n) {
+  return gen::BarabasiAlbert(static_cast<VertexId>(n), 4, 0xB3&0xFF);
+}
+
+void BM_KCoreDecomposition(benchmark::State& state) {
+  Graph g = BenchGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KCoreDecomposition(g));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.NumEdges()));
+}
+BENCHMARK(BM_KCoreDecomposition)->Arg(10000)->Arg(50000);
+
+void BM_CliqueEnumeration(benchmark::State& state) {
+  Graph g = BenchGraph(10000);
+  const int h = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CliqueEnumerator(g, h).Count());
+  }
+}
+BENCHMARK(BM_CliqueEnumeration)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_MotifCoreDecompose(benchmark::State& state) {
+  Graph g = BenchGraph(5000);
+  CliqueOracle oracle(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MotifCoreDecompose(g, oracle));
+  }
+}
+BENCHMARK(BM_MotifCoreDecompose)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_CoreApp(benchmark::State& state) {
+  Graph g = BenchGraph(20000);
+  CliqueOracle oracle(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CoreApp(g, oracle));
+  }
+}
+BENCHMARK(BM_CoreApp);
+
+void BM_CoreExactTriangle(benchmark::State& state) {
+  Graph g = gen::PlantedClique(3000, 0.002, 12, 0xC0DE);
+  CliqueOracle oracle(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CoreExact(g, oracle));
+  }
+}
+BENCHMARK(BM_CoreExactTriangle);
+
+void BM_MaxFlowGrid(benchmark::State& state) {
+  // k x k grid: s -> row 0, row k-1 -> t, unit capacities.
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    MaxFlowNetwork net(static_cast<MaxFlowNetwork::NodeId>(k * k + 2));
+    auto id = [k](int r, int c) {
+      return static_cast<MaxFlowNetwork::NodeId>(1 + r * k + c);
+    };
+    for (int c = 0; c < k; ++c) {
+      net.AddArc(0, id(0, c), 1.0);
+      net.AddArc(id(k - 1, c), static_cast<MaxFlowNetwork::NodeId>(k * k + 1),
+                 1.0);
+    }
+    for (int r = 0; r + 1 < k; ++r) {
+      for (int c = 0; c < k; ++c) {
+        net.AddArc(id(r, c), id(r + 1, c), 1.0);
+        if (c + 1 < k) net.AddArc(id(r, c), id(r, c + 1), 1.0);
+        if (c > 0) net.AddArc(id(r, c), id(r, c - 1), 1.0);
+      }
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        net.MaxFlow(0, static_cast<MaxFlowNetwork::NodeId>(k * k + 1)));
+  }
+}
+BENCHMARK(BM_MaxFlowGrid)->Arg(20)->Arg(60);
+
+void BM_PatternEmbeddings(benchmark::State& state) {
+  Graph g = gen::ErdosRenyi(500, 0.02, 0xE1B);
+  Pattern p = state.range(0) == 0 ? Pattern::Diamond() : Pattern::C3Star();
+  for (auto _ : state) {
+    EmbeddingEnumerator e(g, p);
+    benchmark::DoNotOptimize(e.CountInstances({}));
+  }
+}
+BENCHMARK(BM_PatternEmbeddings)->Arg(0)->Arg(1);
+
+void BM_StarKernel(benchmark::State& state) {
+  Graph g = BenchGraph(20000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StarDegrees(g, 3, {}));
+  }
+}
+BENCHMARK(BM_StarKernel);
+
+}  // namespace
+}  // namespace dsd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Thread-scaling bench for the Section 6.3 parallel algorithms: clique
+// counting and clique-core decomposition at 1/2/4/8 workers.
+#include <cstdio>
+
+#include "clique/clique_enumerator.h"
+#include "graph/generators.h"
+#include "harness/report.h"
+#include "parallel/parallel_clique.h"
+#include "parallel/parallel_nucleus.h"
+#include "util/timer.h"
+
+namespace dsd::bench {
+namespace {
+
+void Run() {
+  Graph g = gen::PowerLawWithCommunities(60000, 3, 30, 14, 0.9, 0x9A7);
+  Banner("Parallel scaling (n=" + std::to_string(g.NumVertices()) + ", m=" +
+         std::to_string(g.NumEdges()) + ", Psi = 4-clique)");
+  Table table({"threads", "clique count", "clique degrees", "core decomp"});
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    Timer count_timer;
+    ParallelCliqueCount(g, 4, threads);
+    double count_seconds = count_timer.Seconds();
+    Timer degrees_timer;
+    ParallelCliqueDegrees(g, 4, threads);
+    double degrees_seconds = degrees_timer.Seconds();
+    Timer core_timer;
+    ParallelCliqueCoreDecomposition(g, 4, threads);
+    double core_seconds = core_timer.Seconds();
+    table.AddRow({std::to_string(threads), FormatSeconds(count_seconds),
+                  FormatSeconds(degrees_seconds),
+                  FormatSeconds(core_seconds)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace dsd::bench
+
+int main() {
+  std::printf("Parallel algorithms (Section 6.3) thread scaling\n");
+  dsd::bench::Run();
+  return 0;
+}

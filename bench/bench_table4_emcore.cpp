@@ -1,0 +1,43 @@
+// Table 4: EMcore vs CoreApp for computing the (edge-based) kmax-core on
+// the five large datasets.
+//
+// Paper's claim to reproduce: CoreApp is consistently faster than the
+// adapted EMcore (0.077s vs 0.091s on DBLP up to 5.8s vs 7.5s on UK-2002),
+// and both return the same kmax-core.
+#include <cstdio>
+
+#include "core/emcore.h"
+#include "dsd/core_app.h"
+#include "harness/datasets.h"
+#include "harness/report.h"
+#include "util/timer.h"
+
+namespace dsd::bench {
+namespace {
+
+void Run() {
+  Banner("Table 4: EMcore vs CoreApp (edge kmax-core)");
+  Table table({"Dataset", "EMcore", "CoreApp", "kmax", "agree"});
+  for (const DatasetSpec& spec : LargeDatasets()) {
+    Graph g = spec.make();
+    Timer em_timer;
+    EmcoreResult em = EmcoreTopDown(g);
+    double em_seconds = em_timer.Seconds();
+    DensestResult core = CoreApp(g, CliqueOracle(2));
+    bool agree =
+        em.kmax == core.stats.kmax && em.core_vertices == core.vertices;
+    table.AddRow({spec.name, FormatSeconds(em_seconds),
+                  FormatSeconds(core.stats.total_seconds),
+                  std::to_string(em.kmax), agree ? "yes" : "NO"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace dsd::bench
+
+int main() {
+  std::printf("Table 4: EMcore vs CoreApp efficiency\n");
+  dsd::bench::Run();
+  return 0;
+}

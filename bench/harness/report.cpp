@@ -1,0 +1,66 @@
+#include "harness/report.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace dsd::bench {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::Print() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&width](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(width[c] - row[c].size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    std::printf("%s\n", line.c_str());
+  };
+  print_row(header_);
+  std::string rule;
+  for (size_t c = 0; c < width.size(); ++c) {
+    rule.append(width[c], '-');
+    rule.append(c + 1 < width.size() ? 2 : 0, ' ');
+  }
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatSeconds(double seconds) {
+  char buffer[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.0fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2fs", seconds);
+  }
+  return buffer;
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream out;
+  out.precision(precision);
+  out << std::fixed << value;
+  return out.str();
+}
+
+void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace dsd::bench

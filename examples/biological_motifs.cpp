@@ -1,0 +1,68 @@
+// Biological motif analysis (the paper's appendix-F use case): on a protein-
+// interaction-style network, different patterns select functionally
+// different dense subnetworks. We compare the PDS for five motifs and show
+// how much their vertex sets overlap.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "dsd/dsd.h"
+
+namespace {
+
+dsd::Graph ProteinNetwork() {
+  // Sparse PPI-like backbone with a handful of protein complexes
+  // (near-cliques) of varying cohesion.
+  return dsd::gen::PowerLawWithCommunities(
+      /*n=*/1200, /*edges_per_vertex=*/1, /*num_communities=*/10,
+      /*community_size=*/7, /*intra_p=*/0.8, /*seed=*/101);
+}
+
+size_t Overlap(const std::vector<dsd::VertexId>& a,
+               const std::vector<dsd::VertexId>& b) {
+  std::vector<dsd::VertexId> common;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(common));
+  return common.size();
+}
+
+}  // namespace
+
+int main() {
+  dsd::Graph graph = ProteinNetwork();
+  std::printf("PPI-style network: n=%u m=%llu\n", graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumEdges()));
+
+  struct Motif {
+    const char* functional_class;  // appendix F's annotation
+    dsd::Pattern pattern;
+  };
+  std::vector<Motif> motifs = {
+      {"subcellular localization", dsd::Pattern::EdgePattern()},
+      {"cell cycle / transport", dsd::Pattern::C3Star()},
+      {"localization + cell cycle", dsd::Pattern::TwoTriangle()},
+      {"transport + synthesis", dsd::Pattern::Clique(4)},
+      {"signalling loops", dsd::Pattern::Diamond()},
+  };
+
+  std::vector<std::vector<dsd::VertexId>> answers;
+  for (const Motif& motif : motifs) {
+    dsd::PatternOracle oracle(motif.pattern);
+    dsd::DensestResult pds = dsd::CorePExact(graph, oracle);
+    std::printf("%-12s (%-28s): |V|=%-3zu rho=%.3f\n",
+                motif.pattern.name().c_str(), motif.functional_class,
+                pds.vertices.size(), pds.density);
+    answers.push_back(pds.vertices);
+  }
+
+  std::printf("\npairwise overlap of motif-densest subnetworks (vertices):\n");
+  for (size_t i = 0; i < motifs.size(); ++i) {
+    for (size_t j = i + 1; j < motifs.size(); ++j) {
+      std::printf("  %-12s vs %-12s : %zu shared\n",
+                  motifs[i].pattern.name().c_str(),
+                  motifs[j].pattern.name().c_str(),
+                  Overlap(answers[i], answers[j]));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Community detection on a collaboration network (the paper's DBLP use
+// case, Section 1): iteratively extract triangle-densest subgraphs to peel
+// off tightly collaborating groups one at a time.
+//
+// Each round finds the current CDS, reports it as a community, removes its
+// vertices, and repeats — the standard "densest-subgraph peeling" recipe for
+// overlapping-free community extraction.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "dsd/dsd.h"
+
+namespace {
+
+dsd::Graph CollaborationNetwork() {
+  // Scale-free co-authorship backbone with four planted research groups of
+  // different sizes and cohesion.
+  return dsd::gen::PowerLawWithCommunities(
+      /*n=*/3000, /*edges_per_vertex=*/2, /*num_communities=*/4,
+      /*community_size=*/14, /*intra_p=*/0.9, /*seed=*/7);
+}
+
+}  // namespace
+
+int main() {
+  dsd::Graph graph = CollaborationNetwork();
+  std::printf("collaboration network: n=%u m=%llu\n", graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumEdges()));
+
+  dsd::CliqueOracle triangle(3);
+  std::vector<char> removed(graph.NumVertices(), 0);
+
+  for (int round = 1; round <= 4; ++round) {
+    // Rebuild the residual graph without previously-extracted communities.
+    std::vector<dsd::VertexId> keep;
+    for (dsd::VertexId v = 0; v < graph.NumVertices(); ++v) {
+      if (!removed[v]) keep.push_back(v);
+    }
+    dsd::Subgraph residual = dsd::InducedSubgraph(graph, keep);
+    dsd::DensestResult community = dsd::CoreExact(residual.graph, triangle);
+    if (community.vertices.empty() || community.density < 1.0) {
+      std::printf("round %d: no further dense community (density %.3f)\n",
+                  round, community.density);
+      break;
+    }
+    std::vector<dsd::VertexId> members =
+        residual.ToParent(community.vertices);
+    std::printf(
+        "round %d: community of %zu researchers, triangle-density %.2f, "
+        "members:",
+        round, members.size(), community.density);
+    for (size_t i = 0; i < members.size() && i < 8; ++i) {
+      std::printf(" %u", members[i]);
+    }
+    if (members.size() > 8) std::printf(" ...");
+    std::printf("\n");
+    for (dsd::VertexId v : members) removed[v] = 1;
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Large near-clique detection (the paper's Section 1 / Tsourakakis'
+// motivating application): the h-clique-densest subgraph for growing h
+// converges on large near-cliques that plain edge-density misses.
+//
+// We hide a 16-vertex near-clique (90% of edges present) inside a graph that
+// also has a larger but sparser dense region, then show how the CDS sharpens
+// onto the near-clique as h grows.
+#include <cstdio>
+
+#include "dsd/dsd.h"
+#include "util/random.h"
+
+namespace {
+
+dsd::Graph GraphWithHiddenNearClique() {
+  dsd::GraphBuilder builder(600);
+  dsd::Rng rng(2024);
+  // Region A (vertices 0..99): moderately dense blob, p = 0.25 — many edges,
+  // few big cliques.
+  for (dsd::VertexId u = 0; u < 100; ++u) {
+    for (dsd::VertexId v = u + 1; v < 100; ++v) {
+      if (rng.NextBernoulli(0.25)) builder.AddEdge(u, v);
+    }
+  }
+  // Region B (vertices 100..115): 16-vertex near-clique, p = 0.9.
+  for (dsd::VertexId u = 100; u < 116; ++u) {
+    for (dsd::VertexId v = u + 1; v < 116; ++v) {
+      if (rng.NextBernoulli(0.9)) builder.AddEdge(u, v);
+    }
+  }
+  // Sparse background and a few bridges.
+  for (dsd::VertexId v = 116; v < 600; ++v) {
+    builder.AddEdge(v, static_cast<dsd::VertexId>(rng.NextBounded(v)));
+  }
+  for (int i = 0; i < 20; ++i) {
+    builder.AddEdge(static_cast<dsd::VertexId>(rng.NextBounded(100)),
+                    static_cast<dsd::VertexId>(100 + rng.NextBounded(16)));
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+int main() {
+  dsd::Graph graph = GraphWithHiddenNearClique();
+  std::printf("graph: n=%u m=%llu (near-clique hidden at vertices 100..115)\n",
+              graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumEdges()));
+
+  for (int h = 2; h <= 6; ++h) {
+    dsd::CliqueOracle oracle(h);
+    dsd::DensestResult cds = dsd::CoreExact(graph, oracle);
+    size_t inside = 0;
+    for (dsd::VertexId v : cds.vertices) {
+      if (v >= 100 && v < 116) ++inside;
+    }
+    std::printf(
+        "h=%d: |CDS|=%-3zu density=%-10.3f members in hidden near-clique: "
+        "%zu/%zu\n",
+        h, cds.vertices.size(), cds.density, inside, cds.vertices.size());
+  }
+  std::printf(
+      "\nAs h grows the CDS concentrates on the hidden near-clique — the\n"
+      "paper's 'clique-density finds large near-cliques' effect.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Clique-degree utilities restricted to "alive" vertex subsets.
+//
+// The peeling algorithms (Algorithm 3 core decomposition, PeelApp) remove
+// vertices one at a time and must enumerate the clique instances a removed
+// vertex participates in *among the still-alive vertices*. The key identity:
+// the h-cliques containing v are exactly {v} ∪ C for each (h-1)-clique C in
+// the subgraph induced by v's alive neighbors.
+#ifndef DSD_CLIQUE_CLIQUE_DEGREE_H_
+#define DSD_CLIQUE_CLIQUE_DEGREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dsd {
+
+/// Invokes `cb` once per h-clique instance that contains `v` and otherwise
+/// uses only vertices u with alive[u] != 0. The span passed to `cb` holds the
+/// h-1 vertices other than v.
+void EnumerateCliquesContaining(
+    const Graph& graph, int h, VertexId v, std::span<const char> alive,
+    const std::function<void(std::span<const VertexId>)>& cb);
+
+/// Clique-degrees of every vertex restricted to alive vertices.
+/// alive may be empty, meaning "all vertices alive".
+std::vector<uint64_t> CliqueDegreesWithin(const Graph& graph, int h,
+                                          std::span<const char> alive);
+
+}  // namespace dsd
+
+#endif  // DSD_CLIQUE_CLIQUE_DEGREE_H_

@@ -1,0 +1,87 @@
+#include "clique/clique_enumerator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/kcore.h"
+
+namespace dsd {
+
+CliqueEnumerator::CliqueEnumerator(const Graph& graph, int h)
+    : graph_(graph), h_(h), dag_(graph.NumVertices()) {
+  assert(h >= 1);
+  CoreDecomposition decomposition = KCoreDecomposition(graph);
+  std::vector<VertexId> rank = DegeneracyRank(decomposition);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (VertexId w : graph.Neighbors(v)) {
+      if (rank[w] > rank[v]) dag_[v].push_back(w);
+    }
+    // Graph adjacency is sorted by id, so each DAG list is too.
+  }
+}
+
+void CliqueEnumerator::Recurse(int depth, std::vector<VertexId>& prefix,
+                               std::vector<VertexId>& candidates,
+                               const CliqueCallback& cb) const {
+  if (depth == h_) {
+    cb(prefix);
+    return;
+  }
+  if (depth == h_ - 1) {
+    // Every remaining candidate completes a clique.
+    for (VertexId c : candidates) {
+      prefix.push_back(c);
+      cb(prefix);
+      prefix.pop_back();
+    }
+    return;
+  }
+  // Prune: not enough candidates left to reach size h.
+  if (static_cast<int>(candidates.size()) < h_ - depth) return;
+  for (VertexId c : candidates) {
+    // Survivors must be DAG-successors of every prefix vertex including c;
+    // both ranges are sorted by vertex id.
+    const auto& out = dag_[c];
+    std::vector<VertexId> next;
+    std::set_intersection(candidates.begin(), candidates.end(), out.begin(),
+                          out.end(), std::back_inserter(next));
+    prefix.push_back(c);
+    Recurse(depth + 1, prefix, next, cb);
+    prefix.pop_back();
+  }
+}
+
+void CliqueEnumerator::Enumerate(const CliqueCallback& cb) const {
+  for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+    EnumerateFromRoot(v, cb);
+  }
+}
+
+void CliqueEnumerator::EnumerateFromRoot(VertexId root,
+                                         const CliqueCallback& cb) const {
+  std::vector<VertexId> prefix;
+  prefix.reserve(h_);
+  prefix.assign(1, root);
+  if (h_ == 1) {
+    cb(prefix);
+    return;
+  }
+  std::vector<VertexId> candidates = dag_[root];
+  Recurse(1, prefix, candidates, cb);
+}
+
+uint64_t CliqueEnumerator::Count() const {
+  uint64_t count = 0;
+  Enumerate([&count](std::span<const VertexId>) { ++count; });
+  return count;
+}
+
+std::vector<uint64_t> CliqueEnumerator::Degrees() const {
+  std::vector<uint64_t> degrees(graph_.NumVertices(), 0);
+  Enumerate([&degrees](std::span<const VertexId> clique) {
+    for (VertexId v : clique) ++degrees[v];
+  });
+  return degrees;
+}
+
+}  // namespace dsd

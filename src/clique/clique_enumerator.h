@@ -1,0 +1,62 @@
+// h-clique enumeration via degeneracy-ordered DAG recursion.
+//
+// Implements the kClist algorithm of Danisch, Balalau and Sozio (WWW'18),
+// which the paper uses as its clique-listing substrate [17]: orient every
+// edge from lower to higher degeneracy rank (out-degrees are then bounded by
+// the degeneracy), and recursively enumerate cliques inside shrinking
+// candidate subgraphs.
+#ifndef DSD_CLIQUE_CLIQUE_ENUMERATOR_H_
+#define DSD_CLIQUE_CLIQUE_ENUMERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dsd {
+
+/// Callback invoked once per clique instance with its vertex set (unsorted).
+using CliqueCallback = std::function<void(std::span<const VertexId>)>;
+
+/// Enumerates h-cliques of a graph. The constructor performs the degeneracy
+/// ordering; Enumerate/Count/Degrees then run the kClist recursion.
+class CliqueEnumerator {
+ public:
+  /// h >= 1. h = 1 lists vertices, h = 2 lists edges.
+  CliqueEnumerator(const Graph& graph, int h);
+
+  /// Invokes `cb` once per h-clique instance (each instance exactly once;
+  /// vertex permutations are not distinguished, matching Definition 2).
+  void Enumerate(const CliqueCallback& cb) const;
+
+  /// Enumerates only the cliques whose degeneracy-minimal vertex is `root`.
+  /// The root sets {EnumerateFromRoot(v)}_v partition all instances, which
+  /// is what the parallel counting layer exploits. Thread-safe: `this` is
+  /// never mutated.
+  void EnumerateFromRoot(VertexId root, const CliqueCallback& cb) const;
+
+  /// Number of h-clique instances: mu(G, Psi).
+  uint64_t Count() const;
+
+  /// Per-vertex clique-degrees deg_G(v, Psi) (Definition 3).
+  std::vector<uint64_t> Degrees() const;
+
+  int h() const { return h_; }
+
+ private:
+  void Recurse(int depth, std::vector<VertexId>& prefix,
+               std::vector<VertexId>& candidates,
+               const CliqueCallback& cb) const;
+
+  const Graph& graph_;
+  int h_;
+  // DAG: out-neighbors of v = neighbors with higher degeneracy rank, sorted
+  // by vertex id.
+  std::vector<std::vector<VertexId>> dag_;
+};
+
+}  // namespace dsd
+
+#endif  // DSD_CLIQUE_CLIQUE_ENUMERATOR_H_

@@ -1,0 +1,46 @@
+#include "core/emcore.h"
+
+#include <algorithm>
+
+#include "core/kcore.h"
+#include "graph/subgraph.h"
+
+namespace dsd {
+
+EmcoreResult EmcoreTopDown(const Graph& graph) {
+  EmcoreResult result;
+  const VertexId n = graph.NumVertices();
+  if (n == 0) return result;
+
+  // Degree is EMcore's upper bound on the core number.
+  std::vector<VertexId> by_degree(n);
+  for (VertexId v = 0; v < n; ++v) by_degree[v] = v;
+  std::sort(by_degree.begin(), by_degree.end(),
+            [&graph](VertexId a, VertexId b) {
+              return graph.Degree(a) > graph.Degree(b);
+            });
+
+  VertexId window = std::min<VertexId>(n, 32);
+  while (true) {
+    ++result.blocks_examined;
+    std::vector<VertexId> prefix(by_degree.begin(),
+                                 by_degree.begin() + window);
+    Subgraph sub = InducedSubgraph(graph, prefix);
+    // EMcore decomposes the whole block (all cores), then reads off kmax.
+    CoreDecomposition decomposition = KCoreDecomposition(sub.graph);
+    if (decomposition.kmax >= result.kmax && decomposition.kmax > 0) {
+      result.kmax = decomposition.kmax;
+      result.core_vertices =
+          sub.ToParent(decomposition.CoreVertices(decomposition.kmax));
+    }
+    if (window == n) break;
+    if (result.kmax > 0 &&
+        graph.Degree(by_degree[window]) < result.kmax) {
+      break;
+    }
+    window = std::min<VertexId>(n, window * 2);
+  }
+  return result;
+}
+
+}  // namespace dsd

@@ -1,0 +1,36 @@
+// EMcore baseline (Cheng et al., ICDE'11), adapted exactly as the paper's
+// Section 8 adapts it: in-memory, top-down, stopping as soon as the
+// (edge-based) kmax-core is found (Table 4 compares it against CoreApp).
+//
+// Differences from CoreApp that the paper calls out (Section 6.2):
+// EMcore handles only classical k-cores, estimates upper bounds from raw
+// degrees, and decomposes ALL cores of each examined block rather than
+// only chasing the maximum one.
+#ifndef DSD_CORE_EMCORE_H_
+#define DSD_CORE_EMCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dsd {
+
+/// Result of the top-down kmax-core search.
+struct EmcoreResult {
+  /// Degeneracy (maximum core number) of the graph.
+  uint32_t kmax = 0;
+  /// Vertices of the kmax-core, sorted.
+  std::vector<VertexId> core_vertices;
+  /// Number of top-down blocks examined.
+  uint32_t blocks_examined = 0;
+};
+
+/// Computes the kmax-core top-down: examine vertices in decreasing degree
+/// order in geometrically growing blocks, fully decompose each block, stop
+/// when no outside vertex's degree can beat the best core found.
+EmcoreResult EmcoreTopDown(const Graph& graph);
+
+}  // namespace dsd
+
+#endif  // DSD_CORE_EMCORE_H_

@@ -1,0 +1,84 @@
+#include "core/kcore.h"
+
+#include <algorithm>
+
+namespace dsd {
+
+std::vector<VertexId> CoreDecomposition::CoreVertices(uint32_t k) const {
+  std::vector<VertexId> vertices;
+  for (VertexId v = 0; v < core.size(); ++v) {
+    if (core[v] >= k) vertices.push_back(v);
+  }
+  return vertices;
+}
+
+CoreDecomposition KCoreDecomposition(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  CoreDecomposition result;
+  result.core.assign(n, 0);
+  result.order.reserve(n);
+  if (n == 0) return result;
+
+  // Bin sort vertices by degree.
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = static_cast<uint32_t>(graph.Degree(v));
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  std::vector<VertexId> bin(max_degree + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[degree[v] + 1];
+  for (uint32_t d = 1; d < bin.size(); ++d) bin[d] += bin[d - 1];
+
+  std::vector<VertexId> sorted(n);   // vertices sorted by current degree
+  std::vector<VertexId> position(n); // position of v in `sorted`
+  {
+    std::vector<VertexId> cursor(bin.begin(), bin.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]];
+      sorted[position[v]] = v;
+      ++cursor[degree[v]];
+    }
+  }
+  // bin[d] = index in `sorted` of the first vertex with degree d.
+  // (bin currently holds prefix counts shifted by one; realign.)
+  std::vector<VertexId> bin_start(max_degree + 1);
+  for (uint32_t d = 0; d <= max_degree; ++d) bin_start[d] = bin[d];
+
+  uint32_t k = 0;
+  for (VertexId i = 0; i < n; ++i) {
+    VertexId v = sorted[i];
+    k = std::max(k, degree[v]);
+    result.core[v] = k;
+    result.order.push_back(v);
+    for (VertexId u : graph.Neighbors(v)) {
+      if (degree[u] > degree[v]) {
+        // Swap u to the front of its bin, then shrink its degree.
+        uint32_t du = degree[u];
+        VertexId pu = position[u];
+        VertexId pw = bin_start[du];
+        VertexId w = sorted[pw];
+        if (u != w) {
+          std::swap(sorted[pu], sorted[pw]);
+          position[u] = pw;
+          position[w] = pu;
+        }
+        ++bin_start[du];
+        --degree[u];
+      }
+    }
+  }
+  result.kmax = k;
+  return result;
+}
+
+std::vector<VertexId> DegeneracyRank(
+    const CoreDecomposition& decomposition) {
+  std::vector<VertexId> rank(decomposition.order.size());
+  for (VertexId i = 0; i < decomposition.order.size(); ++i) {
+    rank[decomposition.order[i]] = i;
+  }
+  return rank;
+}
+
+}  // namespace dsd

@@ -1,0 +1,91 @@
+#include "core/nucleus.h"
+
+#include <algorithm>
+
+#include "clique/clique_enumerator.h"
+
+namespace dsd {
+
+namespace {
+
+// H-index of `values` (destructive): the largest x such that at least x
+// entries are >= x.
+uint64_t HIndex(std::vector<uint64_t>& values) {
+  std::sort(values.begin(), values.end(), std::greater<>());
+  uint64_t h = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= i + 1) {
+      h = i + 1;
+    } else {
+      break;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<VertexId> NucleusDecomposition::CoreVertices(uint64_t k) const {
+  std::vector<VertexId> vertices;
+  for (VertexId v = 0; v < core.size(); ++v) {
+    if (core[v] >= k) vertices.push_back(v);
+  }
+  return vertices;
+}
+
+NucleusDecomposition NucleusCliqueCores(const Graph& graph, int h) {
+  const VertexId n = graph.NumVertices();
+  NucleusDecomposition result;
+  result.core.assign(n, 0);
+  if (n == 0) return result;
+
+  // Materialise instances and the per-vertex incidence lists.
+  std::vector<VertexId> instance_vertices;  // flat, h entries per instance
+  CliqueEnumerator enumerator(graph, h);
+  enumerator.Enumerate([&](std::span<const VertexId> clique) {
+    instance_vertices.insert(instance_vertices.end(), clique.begin(),
+                             clique.end());
+  });
+  const size_t num_instances = instance_vertices.size() / h;
+  std::vector<std::vector<uint32_t>> incident(n);
+  for (size_t i = 0; i < num_instances; ++i) {
+    for (int j = 0; j < h; ++j) {
+      incident[instance_vertices[i * h + j]].push_back(
+          static_cast<uint32_t>(i));
+    }
+  }
+
+  // tau starts at the clique-degree (an upper bound) and only decreases.
+  std::vector<uint64_t> tau(n);
+  for (VertexId v = 0; v < n; ++v) tau[v] = incident[v].size();
+
+  // Asynchronous sweeps until a full pass changes nothing.
+  std::vector<uint64_t> values;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.iterations;
+    for (VertexId v = 0; v < n; ++v) {
+      if (incident[v].empty()) continue;
+      values.clear();
+      for (uint32_t i : incident[v]) {
+        uint64_t support = UINT64_MAX;
+        for (int j = 0; j < h; ++j) {
+          VertexId u = instance_vertices[static_cast<size_t>(i) * h + j];
+          if (u != v) support = std::min(support, tau[u]);
+        }
+        values.push_back(support);
+      }
+      uint64_t updated = HIndex(values);
+      if (updated < tau[v]) {
+        tau[v] = updated;
+        changed = true;
+      }
+    }
+  }
+  result.core = std::move(tau);
+  for (uint64_t c : result.core) result.kmax = std::max(result.kmax, c);
+  return result;
+}
+
+}  // namespace dsd

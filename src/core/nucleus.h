@@ -1,0 +1,37 @@
+// Nucleus-decomposition baseline: clique-core numbers via local h-index
+// iteration (the AND algorithm of Sariyuce, Seshadhri and Pinar, PVLDB'18,
+// restricted to (1, h)-nuclei as the paper's Section 8.1 does).
+//
+// Instead of global peeling, every vertex iterates
+//     tau(v) <- H({ min_{u in I, u != v} tau(u) : instances I containing v })
+// until fixpoint, which converges to the clique-core numbers. The paper uses
+// this as the `Nucleus` competitor in Figures 8(f)-(j).
+#ifndef DSD_CORE_NUCLEUS_H_
+#define DSD_CORE_NUCLEUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dsd {
+
+/// Result of the nucleus (h-index) computation.
+struct NucleusDecomposition {
+  /// Clique-core number per vertex (equal to Algorithm 3's output).
+  std::vector<uint64_t> core;
+  uint64_t kmax = 0;
+  /// Number of full sweeps until convergence.
+  uint32_t iterations = 0;
+
+  /// Vertices with core number >= k, sorted.
+  std::vector<VertexId> CoreVertices(uint64_t k) const;
+};
+
+/// Computes clique-core numbers for h-cliques via asynchronous h-index
+/// iteration. Materialises all h-clique instances (memory O(h * #cliques)).
+NucleusDecomposition NucleusCliqueCores(const Graph& graph, int h);
+
+}  // namespace dsd
+
+#endif  // DSD_CORE_NUCLEUS_H_

@@ -1,0 +1,101 @@
+#include "core/truss.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <unordered_map>
+
+namespace dsd {
+
+namespace {
+
+// Dense edge-id lookup: pack (u, v), u < v, into a 64-bit key.
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+std::vector<VertexId> TrussDecomposition::TrussVertices(
+    uint32_t k, VertexId num_vertices) const {
+  std::vector<char> member(num_vertices, 0);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (truss[i] >= k) {
+      member[edges[i].first] = 1;
+      member[edges[i].second] = 1;
+    }
+  }
+  std::vector<VertexId> vertices;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    if (member[v]) vertices.push_back(v);
+  }
+  return vertices;
+}
+
+TrussDecomposition KTrussDecomposition(const Graph& graph) {
+  TrussDecomposition result;
+  result.edges = graph.Edges();
+  const size_t m = result.edges.size();
+  result.truss.assign(m, 2);
+  if (m == 0) return result;
+
+  std::unordered_map<uint64_t, uint32_t> edge_id;
+  edge_id.reserve(m * 2);
+  for (size_t i = 0; i < m; ++i) {
+    edge_id.emplace(EdgeKey(result.edges[i].first, result.edges[i].second),
+                    static_cast<uint32_t>(i));
+  }
+  auto find_edge = [&edge_id](VertexId u, VertexId v) {
+    auto it = edge_id.find(EdgeKey(std::min(u, v), std::max(u, v)));
+    return it == edge_id.end() ? UINT32_MAX : it->second;
+  };
+
+  // Support = number of triangles through each edge, via sorted-adjacency
+  // intersection from the smaller endpoint.
+  std::vector<uint32_t> support(m, 0);
+  for (size_t i = 0; i < m; ++i) {
+    auto [u, v] = result.edges[i];
+    auto nu = graph.Neighbors(u);
+    auto nv = graph.Neighbors(v);
+    std::vector<VertexId> common;
+    std::set_intersection(nu.begin(), nu.end(), nv.begin(), nv.end(),
+                          std::back_inserter(common));
+    support[i] = static_cast<uint32_t>(common.size());
+  }
+
+  // Peel edges in increasing support order (lazy min-heap).
+  using Entry = std::pair<uint32_t, uint32_t>;  // (support, edge)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (size_t i = 0; i < m; ++i) heap.emplace(support[i], i);
+  std::vector<char> alive(m, 1);
+
+  uint32_t k = 2;
+  while (!heap.empty()) {
+    auto [s, e] = heap.top();
+    heap.pop();
+    if (!alive[e] || s != support[e]) continue;
+    k = std::max(k, s + 2);
+    result.truss[e] = k;
+    alive[e] = 0;
+    // Destroy the triangles through e: decrement the two partner edges of
+    // every surviving triangle.
+    auto [u, v] = result.edges[e];
+    auto nu = graph.Neighbors(u);
+    auto nv = graph.Neighbors(v);
+    std::vector<VertexId> common;
+    std::set_intersection(nu.begin(), nu.end(), nv.begin(), nv.end(),
+                          std::back_inserter(common));
+    for (VertexId w : common) {
+      uint32_t uw = find_edge(u, w);
+      uint32_t vw = find_edge(v, w);
+      assert(uw != UINT32_MAX && vw != UINT32_MAX);
+      if (!alive[uw] || !alive[vw]) continue;  // triangle already destroyed
+      if (support[uw] > 0) heap.emplace(--support[uw], uw);
+      if (support[vw] > 0) heap.emplace(--support[vw], vw);
+    }
+  }
+  result.kmax = k;
+  return result;
+}
+
+}  // namespace dsd

@@ -1,0 +1,38 @@
+// k-truss decomposition (Cohen 2008), the edge-based cousin of the paper's
+// (k, Psi)-core that Section 2 and Section 5.4 situate the clique-core
+// against: the k-truss is the largest subgraph in which every edge lies in
+// at least k-2 triangles. Included as the third member of the dense-subgraph
+// family (k-core / k-truss / (k, Psi)-core) so downstream users can compare
+// the structures the paper contrasts.
+#ifndef DSD_CORE_TRUSS_H_
+#define DSD_CORE_TRUSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dsd {
+
+/// Result of a truss decomposition.
+struct TrussDecomposition {
+  /// Edges in the builder-normalized (u < v, CSR) order of graph.Edges().
+  std::vector<Edge> edges;
+  /// truss[i] = truss number of edges[i]: the largest k such that the edge
+  /// survives in the k-truss. Edges in no triangle get truss number 2.
+  std::vector<uint32_t> truss;
+  /// Maximum truss number (>= 2 when the graph has at least one edge).
+  uint32_t kmax = 0;
+
+  /// Vertices of the k-truss (endpoints of edges with truss >= k), sorted.
+  std::vector<VertexId> TrussVertices(uint32_t k, VertexId num_vertices) const;
+};
+
+/// Peeling-based truss decomposition: iteratively removes the edge with the
+/// fewest remaining triangles. O(m^1.5) support computation + near-linear
+/// peeling.
+TrussDecomposition KTrussDecomposition(const Graph& graph);
+
+}  // namespace dsd
+
+#endif  // DSD_CORE_TRUSS_H_

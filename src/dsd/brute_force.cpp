@@ -1,0 +1,37 @@
+#include "dsd/brute_force.h"
+
+#include <cassert>
+
+#include "dsd/measure.h"
+#include "util/timer.h"
+
+namespace dsd {
+
+DensestResult BruteForceDensest(const Graph& graph,
+                                const MotifOracle& oracle) {
+  Timer timer;
+  const VertexId n = graph.NumVertices();
+  assert(n <= 24);
+  DensestResult result;
+
+  std::vector<VertexId> best;
+  double best_density = -1.0;
+  std::vector<VertexId> subset;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    subset.clear();
+    for (VertexId v = 0; v < n; ++v) {
+      if ((mask >> v) & 1u) subset.push_back(v);
+    }
+    double density = MeasureDensity(graph, oracle, subset);
+    if (density > best_density ||
+        (density == best_density && subset.size() > best.size())) {
+      best_density = density;
+      best = subset;
+    }
+  }
+  FillResult(graph, oracle, std::move(best), result);
+  result.stats.total_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace dsd

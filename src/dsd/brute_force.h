@@ -1,0 +1,19 @@
+// Brute-force densest subgraph by exhaustive subset scan. Test oracle only:
+// O(2^n) — every exact algorithm is validated against it on small graphs.
+#ifndef DSD_DSD_BRUTE_FORCE_H_
+#define DSD_DSD_BRUTE_FORCE_H_
+
+#include "dsd/motif_oracle.h"
+#include "dsd/result.h"
+#include "graph/graph.h"
+
+namespace dsd {
+
+/// Scans all non-empty vertex subsets (graph.NumVertices() <= 24 enforced by
+/// assert) and returns the maximum-density induced subgraph. Ties are broken
+/// toward larger subsets, then lexicographically smaller vertex sets.
+DensestResult BruteForceDensest(const Graph& graph, const MotifOracle& oracle);
+
+}  // namespace dsd
+
+#endif  // DSD_DSD_BRUTE_FORCE_H_

@@ -1,0 +1,85 @@
+#include "dsd/core_app.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "dsd/measure.h"
+#include "dsd/motif_core.h"
+#include "graph/subgraph.h"
+#include "util/timer.h"
+
+namespace dsd {
+
+DensestResult CoreApp(const Graph& graph, const MotifOracle& oracle,
+                      const CoreAppOptions& options) {
+  Timer timer;
+  DensestResult result;
+  const VertexId n = graph.NumVertices();
+  if (n == 0) {
+    FillResult(graph, oracle, {}, result);
+    result.stats.total_seconds = timer.Seconds();
+    return result;
+  }
+
+  // gamma(v): cheap upper bound on v's motif-core number (Section 6.2 uses
+  // C(core(v), h-1) for h-cliques).
+  std::vector<uint64_t> gamma = oracle.CoreNumberUpperBounds(graph);
+  std::vector<VertexId> by_gamma(n);
+  for (VertexId v = 0; v < n; ++v) by_gamma[v] = v;
+  std::sort(by_gamma.begin(), by_gamma.end(), [&gamma](VertexId a, VertexId b) {
+    return gamma[a] > gamma[b];
+  });
+
+  uint64_t kmax = 0;
+  VertexId window = std::min<VertexId>(n, std::max<VertexId>(
+                                              1, options.initial_window));
+  while (true) {
+    std::vector<VertexId> prefix(by_gamma.begin(), by_gamma.begin() + window);
+    if (kmax == 0) {
+      // Bootstrap: no core level established yet; decompose the window.
+      Subgraph sub = InducedSubgraph(graph, prefix);
+      kmax = MotifCoreDecompose(sub.graph, oracle).kmax;
+    } else {
+      // Algorithm 6 lines 7-14: only chase cores of order > kmax. Peeling
+      // the window at level kmax+1 discards almost everything instantly
+      // when no higher core hides in it — this is where CoreApp beats a
+      // full bottom-up decomposition.
+      std::vector<VertexId> survivors =
+          RestrictToCore(graph, oracle, prefix, kmax + 1);
+      if (!survivors.empty()) {
+        Subgraph sub = InducedSubgraph(graph, survivors);
+        uint64_t refined = MotifCoreDecompose(sub.graph, oracle).kmax;
+        kmax = std::max(kmax + 1, refined);
+      }
+    }
+    if (window == n) break;
+    // Stopping criterion (Algorithm 6 line 4): every vertex outside W has
+    // gamma < kmax, hence motif-core number < kmax, hence lies outside the
+    // (kmax, Psi)-core. gamma is sorted descending so checking the first
+    // outside vertex suffices.
+    if (kmax > 0 && gamma[by_gamma[window]] < kmax) break;
+    window = std::min<VertexId>(n, window * 2);
+  }
+
+  std::vector<VertexId> best_core;
+  if (kmax > 0) {
+    // Extract the exact (kmax, Psi)-core: it lives among the vertices with
+    // gamma >= kmax (an upper bound on core numbers), and peeling that set
+    // at level kmax yields precisely the core — so CoreApp's answer is
+    // bit-identical to IncApp's.
+    std::vector<VertexId> candidates;
+    for (VertexId v : by_gamma) {
+      if (gamma[v] < kmax) break;
+      candidates.push_back(v);
+    }
+    best_core = RestrictToCore(graph, oracle, candidates, kmax);
+  }
+
+  result.stats.kmax =
+      static_cast<uint32_t>(std::min<uint64_t>(kmax, UINT32_MAX));
+  FillResult(graph, oracle, std::move(best_core), result);
+  result.stats.total_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace dsd

@@ -1,0 +1,54 @@
+// CoreExact (Algorithm 4): the paper's core-located exact algorithm, and
+// CorePExact, its general-pattern instantiation with the construct+ network.
+//
+// Three optimisations over Algorithm 1 (Section 6.1):
+//   1. tighter binary-search bounds from Theorem 1: alpha in
+//      [kmax/|V_Psi|, kmax] instead of [0, max motif-degree];
+//   2. the CDS is located inside a small (k'', Psi)-core (Lemma 7 +
+//      Pruning1/Pruning2), and flow networks are built per connected
+//      component of that core (Pruning3 tightens the stop criterion to the
+//      component size);
+//   3. whenever the lower bound grows past its core level, the component is
+//      re-restricted to a higher core, shrinking subsequent flow networks.
+// Each optimisation can be toggled independently for the Figure 10 ablation.
+#ifndef DSD_DSD_CORE_EXACT_H_
+#define DSD_DSD_CORE_EXACT_H_
+
+#include "dsd/motif_oracle.h"
+#include "dsd/result.h"
+#include "graph/graph.h"
+
+namespace dsd {
+
+/// Toggles for CoreExact's pruning rules (all on by default; Figure 10
+/// evaluates each in isolation).
+struct CoreExactOptions {
+  /// Pruning1: locate the CDS in the (ceil(rho'), Psi)-core, rho' = best
+  /// residual density seen during decomposition. When off, falls back to the
+  /// Theorem-1 bound ceil(kmax / |V_Psi|).
+  bool pruning1 = true;
+  /// Pruning2: raise the core level and the lower bound using per-connected-
+  /// component densities.
+  bool pruning2 = true;
+  /// Pruning3: stop binary search at gap 1/(|V_C|(|V_C|-1)) per component
+  /// instead of the global 1/(n(n-1)).
+  bool pruning3 = true;
+  /// Record flow-network sizes per binary-search iteration, including the
+  /// hypothetical whole-graph network (Figure 9). Costs one extra instance
+  /// scan of the full graph.
+  bool track_network_sizes = false;
+};
+
+/// Exact CDS via (k, Psi)-cores (Algorithm 4). Works for any oracle; with a
+/// PatternOracle this is CorePExact (Section 7.2), using the construct+
+/// grouped flow network.
+DensestResult CoreExact(const Graph& graph, const MotifOracle& oracle,
+                        const CoreExactOptions& options = {});
+
+/// Paper-named alias for the pattern instantiation.
+DensestResult CorePExact(const Graph& graph, const PatternOracle& oracle,
+                         const CoreExactOptions& options = {});
+
+}  // namespace dsd
+
+#endif  // DSD_DSD_CORE_EXACT_H_

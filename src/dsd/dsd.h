@@ -1,0 +1,42 @@
+// Umbrella header: the library's public API in one include.
+//
+//   #include "dsd/dsd.h"
+//
+//   dsd::Graph g = ...;                       // graph/ substrate
+//   dsd::CliqueOracle triangle(3);            // CDS: h-clique density
+//   auto exact  = dsd::CoreExact(g, triangle);
+//   auto approx = dsd::CoreApp(g, triangle);
+//   dsd::PatternOracle diamond(dsd::Pattern::Diamond());
+//   auto pds    = dsd::CorePExact(g, diamond);  // PDS: pattern density
+#ifndef DSD_DSD_DSD_H_
+#define DSD_DSD_DSD_H_
+
+#include "core/emcore.h"             // IWYU pragma: export
+#include "core/kcore.h"              // IWYU pragma: export
+#include "core/nucleus.h"            // IWYU pragma: export
+#include "core/truss.h"              // IWYU pragma: export
+#include "dsd/brute_force.h"         // IWYU pragma: export
+#include "dsd/core_app.h"            // IWYU pragma: export
+#include "dsd/core_exact.h"          // IWYU pragma: export
+#include "dsd/exact.h"               // IWYU pragma: export
+#include "dsd/extensions.h"          // IWYU pragma: export
+#include "dsd/inc_app.h"             // IWYU pragma: export
+#include "dsd/measure.h"             // IWYU pragma: export
+#include "dsd/motif_core.h"          // IWYU pragma: export
+#include "dsd/motif_oracle.h"        // IWYU pragma: export
+#include "dsd/peel_app.h"            // IWYU pragma: export
+#include "dsd/query_densest.h"       // IWYU pragma: export
+#include "dsd/result.h"              // IWYU pragma: export
+#include "dsd/top_k.h"               // IWYU pragma: export
+#include "graph/builder.h"           // IWYU pragma: export
+#include "graph/connectivity.h"      // IWYU pragma: export
+#include "graph/generators.h"        // IWYU pragma: export
+#include "graph/graph.h"             // IWYU pragma: export
+#include "graph/io.h"                // IWYU pragma: export
+#include "graph/stats.h"             // IWYU pragma: export
+#include "graph/subgraph.h"          // IWYU pragma: export
+#include "parallel/parallel_clique.h"   // IWYU pragma: export
+#include "parallel/parallel_nucleus.h"  // IWYU pragma: export
+#include "pattern/pattern.h"         // IWYU pragma: export
+
+#endif  // DSD_DSD_DSD_H_

@@ -1,0 +1,76 @@
+#include "dsd/exact.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "dsd/flow_networks.h"
+#include "graph/subgraph.h"
+#include "util/timer.h"
+
+namespace dsd {
+
+namespace {
+
+// Finalizes a result: sorts vertices, measures the induced subgraph.
+void Finalize(const Graph& graph, const MotifOracle& oracle,
+              std::vector<VertexId> vertices, DensestResult& result) {
+  std::sort(vertices.begin(), vertices.end());
+  result.vertices = std::move(vertices);
+  if (result.vertices.empty()) {
+    result.instances = 0;
+    result.density = 0.0;
+    return;
+  }
+  Subgraph sub = InducedSubgraph(graph, result.vertices);
+  result.instances = oracle.CountInstances(sub.graph, {});
+  result.density = static_cast<double>(result.instances) /
+                   static_cast<double>(result.vertices.size());
+}
+
+DensestResult ExactWithSolver(const Graph& graph, const MotifOracle& oracle,
+                              std::unique_ptr<DensestFlowSolver> solver) {
+  Timer timer;
+  DensestResult result;
+  const VertexId n = graph.NumVertices();
+  if (n < 2) {
+    Finalize(graph, oracle, {}, result);
+    result.stats.total_seconds = timer.Seconds();
+    return result;
+  }
+
+  std::vector<uint64_t> degrees = oracle.Degrees(graph, {});
+  double u = 0.0;
+  for (uint64_t d : degrees) u = std::max(u, static_cast<double>(d));
+  double l = 0.0;
+  const double gap = 1.0 / (static_cast<double>(n) * (n - 1));
+
+  result.stats.flow_network_sizes.push_back(solver->NumNodes());
+  std::vector<VertexId> best;
+  while (u - l >= gap) {
+    const double alpha = (l + u) / 2.0;
+    std::vector<VertexId> side = solver->Solve(alpha);
+    ++result.stats.binary_search_iterations;
+    if (side.empty()) {
+      u = alpha;
+    } else {
+      l = alpha;
+      best = std::move(side);
+    }
+  }
+  Finalize(graph, oracle, std::move(best), result);
+  result.stats.total_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace
+
+DensestResult Exact(const Graph& graph, const MotifOracle& oracle) {
+  return ExactWithSolver(graph, oracle, MakeDefaultFlowSolver(graph, oracle));
+}
+
+DensestResult PExact(const Graph& graph, const PatternOracle& oracle) {
+  return ExactWithSolver(
+      graph, oracle, MakePatternFlowSolver(graph, oracle, /*grouped=*/false));
+}
+
+}  // namespace dsd

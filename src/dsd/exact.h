@@ -1,0 +1,28 @@
+// Exact (Algorithm 1) and PExact (Algorithm 8): the baseline exact solvers.
+//
+// Binary search on the optimal density with a max-flow feasibility test on a
+// network built over the ENTIRE graph each time — precisely the cost the
+// paper's CoreExact removes. Kept faithful as the evaluation baseline
+// (Figures 8a-e, 13, 15).
+#ifndef DSD_DSD_EXACT_H_
+#define DSD_DSD_EXACT_H_
+
+#include "dsd/motif_oracle.h"
+#include "dsd/result.h"
+#include "graph/graph.h"
+
+namespace dsd {
+
+/// Exact CDS/PDS via whole-graph binary search (Algorithm 1).
+/// Uses the EDS network for 2-cliques, Algorithm 1's clique network for
+/// larger cliques and the grouped pattern network otherwise.
+DensestResult Exact(const Graph& graph, const MotifOracle& oracle);
+
+/// PExact (Algorithm 8): like Exact but with one flow-network node per
+/// pattern instance (no vertex-set grouping). The baseline CorePExact is
+/// compared against in Figure 15.
+DensestResult PExact(const Graph& graph, const PatternOracle& oracle);
+
+}  // namespace dsd
+
+#endif  // DSD_DSD_EXACT_H_

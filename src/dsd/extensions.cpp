@@ -1,0 +1,91 @@
+#include "dsd/extensions.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "dsd/measure.h"
+#include "dsd/motif_core.h"
+#include "graph/subgraph.h"
+#include "util/timer.h"
+
+namespace dsd {
+
+DensestResult DensestAtLeast(const Graph& graph, const MotifOracle& oracle,
+                             VertexId min_size) {
+  Timer timer;
+  DensestResult result;
+  MotifCoreDecomposition decomposition = MotifCoreDecompose(graph, oracle);
+  result.stats.kmax =
+      static_cast<uint32_t>(std::min<uint64_t>(decomposition.kmax, UINT32_MAX));
+
+  // Scan residual graphs (suffixes of the removal order) that still have at
+  // least min_size vertices; keep the densest.
+  const size_t n = decomposition.removal_order.size();
+  size_t best_start = 0;
+  double best_density = -1.0;
+  for (size_t start = 0; start < n; ++start) {
+    if (n - start < min_size) break;
+    if (decomposition.residual_density[start] > best_density) {
+      best_density = decomposition.residual_density[start];
+      best_start = start;
+    }
+  }
+  if (best_density < 0) {
+    // Graph smaller than min_size: best effort is the whole vertex set.
+    std::vector<VertexId> all(graph.NumVertices());
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) all[v] = v;
+    FillResult(graph, oracle, std::move(all), result);
+  } else {
+    std::vector<VertexId> vertices(
+        decomposition.removal_order.begin() +
+            static_cast<ptrdiff_t>(best_start),
+        decomposition.removal_order.end());
+    FillResult(graph, oracle, std::move(vertices), result);
+  }
+  result.stats.total_seconds = timer.Seconds();
+  return result;
+}
+
+DensestResult StreamApp(const Graph& graph, const MotifOracle& oracle,
+                        double eps) {
+  assert(eps > 0);
+  Timer timer;
+  DensestResult result;
+  const int h = oracle.MotifSize();
+
+  std::vector<VertexId> current(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) current[v] = v;
+  std::vector<VertexId> best;
+  double best_density = -1.0;
+
+  while (!current.empty()) {
+    Subgraph sub = InducedSubgraph(graph, current);
+    const uint64_t instances = oracle.CountInstances(sub.graph, {});
+    const double density =
+        static_cast<double>(instances) / static_cast<double>(current.size());
+    if (density > best_density) {
+      best_density = density;
+      best = current;
+    }
+    if (instances == 0) break;
+    // One pass: drop everything below the (1+eps) * h * rho threshold.
+    const double threshold = (1.0 + eps) * h * density;
+    std::vector<uint64_t> degrees = oracle.Degrees(sub.graph, {});
+    std::vector<VertexId> next;
+    next.reserve(current.size());
+    for (VertexId i = 0; i < sub.graph.NumVertices(); ++i) {
+      if (static_cast<double>(degrees[i]) > threshold) {
+        next.push_back(sub.to_parent[i]);
+      }
+    }
+    if (next.size() == current.size()) break;  // defensive: cannot happen
+    current = std::move(next);
+    ++result.stats.binary_search_iterations;  // reused as "pass count"
+  }
+
+  FillResult(graph, oracle, std::move(best), result);
+  result.stats.total_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace dsd

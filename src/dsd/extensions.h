@@ -1,0 +1,38 @@
+// Extensions beyond the paper's core algorithms:
+//
+//  * DensestAtLeast — size-constrained DSD (the paper's "future work":
+//    densest subgraph with at least `min_size` vertices). Exact is NP-hard
+//    [Khuller-Saha]; the greedy residual scan over the peeling order is the
+//    standard 1/3-approximation for edge density [Andersen-Chellapilla'09],
+//    generalising to 1/(|V_Psi| + something) shapes for motifs.
+//
+//  * StreamApp — Bahmani, Kumar & Vassilvitskii's semi-streaming
+//    1/(2(1+eps))-approximation, generalised to motifs: repeatedly delete
+//    every vertex whose motif-degree is below (1+eps) * |V_Psi| * rho of
+//    the current residual graph; O(log n / eps) passes, each a single
+//    degree scan. Guarantee: rho(answer) >= rho_opt / ((1+eps) |V_Psi|).
+#ifndef DSD_DSD_EXTENSIONS_H_
+#define DSD_DSD_EXTENSIONS_H_
+
+#include <cstdint>
+
+#include "dsd/motif_oracle.h"
+#include "dsd/result.h"
+#include "graph/graph.h"
+
+namespace dsd {
+
+/// Greedy approximation for the densest subgraph with >= min_size vertices:
+/// the densest residual of the peeling order among those large enough.
+/// For min_size <= 1 this is exactly PeelApp.
+DensestResult DensestAtLeast(const Graph& graph, const MotifOracle& oracle,
+                             VertexId min_size);
+
+/// Bahmani-style multi-pass peeling with slack eps > 0. Larger eps = fewer
+/// passes, weaker guarantee.
+DensestResult StreamApp(const Graph& graph, const MotifOracle& oracle,
+                        double eps = 0.1);
+
+}  // namespace dsd
+
+#endif  // DSD_DSD_EXTENSIONS_H_

@@ -1,0 +1,242 @@
+#include "dsd/flow_networks.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "clique/clique_enumerator.h"
+#include "flow/max_flow.h"
+
+namespace dsd {
+
+namespace {
+
+using NodeId = MaxFlowNetwork::NodeId;
+using ArcId = MaxFlowNetwork::ArcId;
+
+// Shared source-side extraction: nodes 1..n are graph vertices.
+std::vector<VertexId> VerticesOnSourceSide(const MaxFlowNetwork& network,
+                                           VertexId n) {
+  std::vector<VertexId> result;
+  for (NodeId node : network.MinCutSourceSide(0)) {
+    if (node >= 1 && node <= n) result.push_back(node - 1);
+  }
+  return result;
+}
+
+// Goldberg's edge-density network.
+class EdsFlowSolver : public DensestFlowSolver {
+ public:
+  explicit EdsFlowSolver(const Graph& graph)
+      : n_(graph.NumVertices()),
+        network_(static_cast<NodeId>(graph.NumVertices()) + 2) {
+    m_ = static_cast<double>(graph.NumEdges());
+    const NodeId s = 0;
+    const NodeId t = static_cast<NodeId>(n_) + 1;
+    alpha_arcs_.reserve(n_);
+    source_arcs_.reserve(n_);
+    degrees_.reserve(n_);
+    for (VertexId v = 0; v < n_; ++v) {
+      source_arcs_.push_back(network_.AddArc(s, v + 1, m_));
+      degrees_.push_back(static_cast<double>(graph.Degree(v)));
+      alpha_arcs_.push_back(network_.AddArc(v + 1, t, m_));
+    }
+    for (const Edge& e : graph.Edges()) {
+      network_.AddArc(e.first + 1, e.second + 1, 1.0);
+      network_.AddArc(e.second + 1, e.first + 1, 1.0);
+    }
+  }
+
+  std::vector<VertexId> Solve(double alpha) override {
+    const NodeId t = static_cast<NodeId>(n_) + 1;
+    for (VertexId v = 0; v < n_; ++v) {
+      network_.SetCapacity(alpha_arcs_[v], m_ + 2.0 * alpha - degrees_[v]);
+    }
+    network_.MaxFlow(0, t);
+    return VerticesOnSourceSide(network_, n_);
+  }
+
+  uint64_t NumNodes() const override { return network_.num_nodes(); }
+
+  void ForceToSource(const std::vector<VertexId>& vertices) override {
+    for (VertexId v : vertices) {
+      network_.SetCapacity(source_arcs_[v], MaxFlowNetwork::kInfinity);
+    }
+  }
+
+ private:
+  VertexId n_;
+  double m_ = 0.0;
+  MaxFlowNetwork network_;
+  std::vector<ArcId> alpha_arcs_;
+  std::vector<ArcId> source_arcs_;
+  std::vector<double> degrees_;
+};
+
+// Algorithm 1's network for h-cliques, h >= 3. Lambda nodes are the
+// (h-1)-clique instances.
+class CliqueFlowSolver : public DensestFlowSolver {
+ public:
+  CliqueFlowSolver(const Graph& graph, int h) : n_(graph.NumVertices()), h_(h) {
+    assert(h >= 3);
+    // Collect Lambda = (h-1)-cliques and the h-clique degrees.
+    std::vector<std::vector<VertexId>> lambda;
+    CliqueEnumerator sub_cliques(graph, h - 1);
+    sub_cliques.Enumerate([&lambda](std::span<const VertexId> c) {
+      lambda.emplace_back(c.begin(), c.end());
+    });
+    std::vector<uint64_t> degrees = CliqueEnumerator(graph, h).Degrees();
+
+    const NodeId num_nodes =
+        static_cast<NodeId>(n_) + static_cast<NodeId>(lambda.size()) + 2;
+    network_ = std::make_unique<MaxFlowNetwork>(num_nodes);
+    const NodeId s = 0;
+    const NodeId t = num_nodes - 1;
+
+    for (VertexId v = 0; v < n_; ++v) {
+      source_arcs_.push_back(
+          network_->AddArc(s, v + 1, static_cast<double>(degrees[v])));
+      alpha_arcs_.push_back(network_->AddArc(v + 1, t, 0.0));
+    }
+    // psi -> members (infinite), completions v -> psi (capacity 1).
+    std::vector<VertexId> completions;
+    for (size_t i = 0; i < lambda.size(); ++i) {
+      const NodeId psi = static_cast<NodeId>(n_) + 1 + static_cast<NodeId>(i);
+      const std::vector<VertexId>& members = lambda[i];
+      for (VertexId v : members) {
+        network_->AddArc(psi, v + 1, MaxFlowNetwork::kInfinity);
+      }
+      // v completes psi iff v is adjacent to every member: intersect the
+      // members' sorted adjacency lists.
+      completions.assign(graph.Neighbors(members[0]).begin(),
+                         graph.Neighbors(members[0]).end());
+      std::vector<VertexId> next;
+      for (size_t j = 1; j < members.size() && !completions.empty(); ++j) {
+        auto nbrs = graph.Neighbors(members[j]);
+        next.clear();
+        std::set_intersection(completions.begin(), completions.end(),
+                              nbrs.begin(), nbrs.end(),
+                              std::back_inserter(next));
+        completions.swap(next);
+      }
+      for (VertexId v : completions) {
+        network_->AddArc(v + 1, psi, 1.0);
+      }
+    }
+  }
+
+  std::vector<VertexId> Solve(double alpha) override {
+    const NodeId t = network_->num_nodes() - 1;
+    for (VertexId v = 0; v < n_; ++v) {
+      network_->SetCapacity(alpha_arcs_[v], alpha * h_);
+    }
+    network_->MaxFlow(0, t);
+    return VerticesOnSourceSide(*network_, n_);
+  }
+
+  uint64_t NumNodes() const override { return network_->num_nodes(); }
+
+  void ForceToSource(const std::vector<VertexId>& vertices) override {
+    for (VertexId v : vertices) {
+      network_->SetCapacity(source_arcs_[v], MaxFlowNetwork::kInfinity);
+    }
+  }
+
+ private:
+  VertexId n_;
+  int h_;
+  std::unique_ptr<MaxFlowNetwork> network_;
+  std::vector<ArcId> alpha_arcs_;
+  std::vector<ArcId> source_arcs_;
+};
+
+// Algorithm 8 (grouped = false) / construct+ Algorithm 7 (grouped = true).
+class PatternFlowSolver : public DensestFlowSolver {
+ public:
+  PatternFlowSolver(const Graph& graph, const MotifOracle& oracle,
+                    bool grouped)
+      : n_(graph.NumVertices()), motif_size_(oracle.MotifSize()) {
+    std::vector<InstanceGroup> groups = oracle.Groups(graph, {});
+    if (!grouped) {
+      // Expand each group into `multiplicity` single-instance nodes,
+      // exactly as PExact builds one node per pattern instance.
+      std::vector<InstanceGroup> expanded;
+      for (const InstanceGroup& g : groups) {
+        for (uint64_t i = 0; i < g.multiplicity; ++i) {
+          expanded.push_back({g.vertices, 1});
+        }
+      }
+      groups = std::move(expanded);
+    }
+    std::vector<uint64_t> degrees = oracle.Degrees(graph, {});
+
+    const NodeId num_nodes =
+        static_cast<NodeId>(n_) + static_cast<NodeId>(groups.size()) + 2;
+    network_ = std::make_unique<MaxFlowNetwork>(num_nodes);
+    const NodeId s = 0;
+    const NodeId t = num_nodes - 1;
+    for (VertexId v = 0; v < n_; ++v) {
+      source_arcs_.push_back(
+          network_->AddArc(s, v + 1, static_cast<double>(degrees[v])));
+      alpha_arcs_.push_back(network_->AddArc(v + 1, t, 0.0));
+    }
+    for (size_t i = 0; i < groups.size(); ++i) {
+      const NodeId g = static_cast<NodeId>(n_) + 1 + static_cast<NodeId>(i);
+      const double mult = static_cast<double>(groups[i].multiplicity);
+      for (VertexId v : groups[i].vertices) {
+        network_->AddArc(v + 1, g, mult);
+        network_->AddArc(g, v + 1, mult * (motif_size_ - 1));
+      }
+    }
+  }
+
+  std::vector<VertexId> Solve(double alpha) override {
+    const NodeId t = network_->num_nodes() - 1;
+    for (VertexId v = 0; v < n_; ++v) {
+      network_->SetCapacity(alpha_arcs_[v], alpha * motif_size_);
+    }
+    network_->MaxFlow(0, t);
+    return VerticesOnSourceSide(*network_, n_);
+  }
+
+  uint64_t NumNodes() const override { return network_->num_nodes(); }
+
+  void ForceToSource(const std::vector<VertexId>& vertices) override {
+    for (VertexId v : vertices) {
+      network_->SetCapacity(source_arcs_[v], MaxFlowNetwork::kInfinity);
+    }
+  }
+
+ private:
+  VertexId n_;
+  int motif_size_;
+  std::unique_ptr<MaxFlowNetwork> network_;
+  std::vector<ArcId> alpha_arcs_;
+  std::vector<ArcId> source_arcs_;
+};
+
+}  // namespace
+
+std::unique_ptr<DensestFlowSolver> MakeEdsFlowSolver(const Graph& graph) {
+  return std::make_unique<EdsFlowSolver>(graph);
+}
+
+std::unique_ptr<DensestFlowSolver> MakeCliqueFlowSolver(const Graph& graph,
+                                                        int h) {
+  return std::make_unique<CliqueFlowSolver>(graph, h);
+}
+
+std::unique_ptr<DensestFlowSolver> MakePatternFlowSolver(
+    const Graph& graph, const MotifOracle& oracle, bool grouped) {
+  return std::make_unique<PatternFlowSolver>(graph, oracle, grouped);
+}
+
+std::unique_ptr<DensestFlowSolver> MakeDefaultFlowSolver(
+    const Graph& graph, const MotifOracle& oracle) {
+  if (const auto* clique = dynamic_cast<const CliqueOracle*>(&oracle)) {
+    if (clique->h() == 2) return MakeEdsFlowSolver(graph);
+    return MakeCliqueFlowSolver(graph, clique->h());
+  }
+  return MakePatternFlowSolver(graph, oracle, /*grouped=*/true);
+}
+
+}  // namespace dsd

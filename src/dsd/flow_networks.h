@@ -1,0 +1,75 @@
+// Flow-network constructions for the exact DSD algorithms.
+//
+// Every exact algorithm answers the same oracle question inside a binary
+// search: "does G contain a subgraph with Psi-density greater than alpha?"
+// Each construction below reduces that question to a minimum st-cut whose
+// source side (minus s) induces such a subgraph when one exists:
+//   * EdsFlowSolver      — Goldberg's network for the edge case (h = 2).
+//   * CliqueFlowSolver   — Algorithm 1's network over (h-1)-clique nodes.
+//   * PatternFlowSolver  — Algorithm 8 (PExact, one node per instance) and
+//                          Algorithm 7 (construct+, one node per group of
+//                          instances sharing a vertex set), selected by the
+//                          `grouped` flag; Lemma 11 proves both cuts equal.
+//
+// Solvers are built once per (sub)graph: the structure is alpha-independent,
+// only the v->t capacities are retuned between Solve() calls. This mirrors
+// CoreExact's "the flow network gradually becomes smaller" optimisation —
+// the *networks* shrink because they are rebuilt on smaller cores, while
+// repeated guesses on the same core reuse the structure.
+#ifndef DSD_DSD_FLOW_NETWORKS_H_
+#define DSD_DSD_FLOW_NETWORKS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dsd/motif_oracle.h"
+#include "graph/graph.h"
+
+namespace dsd {
+
+/// Binary-search oracle: min-cut feasibility test at a density guess.
+class DensestFlowSolver {
+ public:
+  virtual ~DensestFlowSolver() = default;
+
+  /// Returns the graph vertices on the source side of a minimum st-cut with
+  /// guess alpha. Empty result means S = {s}: no subgraph with density
+  /// exceeding alpha exists.
+  virtual std::vector<VertexId> Solve(double alpha) = 0;
+
+  /// Total flow-network nodes (Figure 9's y-axis).
+  virtual uint64_t NumNodes() const = 0;
+
+  /// Forces the given graph vertices onto the source side of every future
+  /// min cut (s->v capacity becomes +inf). Used by the query-anchored
+  /// variant of Section 6.3.
+  virtual void ForceToSource(const std::vector<VertexId>& vertices) = 0;
+};
+
+/// Goldberg's EDS network (Section 4.1 remark): nodes {s} ∪ V ∪ {t};
+/// s->v cap m, v->t cap m + 2*alpha - deg(v), each edge 1 both ways.
+std::unique_ptr<DensestFlowSolver> MakeEdsFlowSolver(const Graph& graph);
+
+/// Algorithm 1's clique network: nodes {s} ∪ V ∪ Λ ∪ {t} with Λ the
+/// (h-1)-clique instances; s->v cap deg(v, Psi), v->t cap alpha*h,
+/// psi->member cap +inf, v->psi cap 1 when {v} ∪ psi is an h-clique.
+std::unique_ptr<DensestFlowSolver> MakeCliqueFlowSolver(const Graph& graph,
+                                                        int h);
+
+/// Pattern network over the oracle's instances. grouped = false gives
+/// Algorithm 8 (PExact): one node per instance, v->psi cap 1,
+/// psi->v cap |V_Psi| - 1. grouped = true gives construct+ (Algorithm 7):
+/// one node per vertex-set group g, v->g cap |g|, g->v cap |g|(|V_Psi|-1).
+std::unique_ptr<DensestFlowSolver> MakePatternFlowSolver(
+    const Graph& graph, const MotifOracle& oracle, bool grouped);
+
+/// The construction each oracle's exact algorithms use by default:
+/// EDS network for 2-cliques, Algorithm 1 for larger cliques, construct+
+/// for general patterns.
+std::unique_ptr<DensestFlowSolver> MakeDefaultFlowSolver(
+    const Graph& graph, const MotifOracle& oracle);
+
+}  // namespace dsd
+
+#endif  // DSD_DSD_FLOW_NETWORKS_H_

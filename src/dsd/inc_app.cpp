@@ -1,0 +1,25 @@
+#include "dsd/inc_app.h"
+
+#include "dsd/measure.h"
+#include "dsd/motif_core.h"
+#include "util/timer.h"
+
+namespace dsd {
+
+DensestResult IncApp(const Graph& graph, const MotifOracle& oracle) {
+  Timer timer;
+  DensestResult result;
+  MotifCoreDecomposition decomposition = MotifCoreDecompose(graph, oracle);
+  result.stats.kmax =
+      static_cast<uint32_t>(std::min<uint64_t>(decomposition.kmax, UINT32_MAX));
+  if (decomposition.kmax > 0) {
+    FillResult(graph, oracle, decomposition.CoreVertices(decomposition.kmax),
+               result);
+  } else {
+    FillResult(graph, oracle, {}, result);
+  }
+  result.stats.total_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace dsd

@@ -1,0 +1,17 @@
+// IncApp (Algorithm 5): full (k, Psi)-core decomposition, answer the
+// (kmax, Psi)-core. Deterministic 1/|V_Psi| approximation (Lemma 8).
+#ifndef DSD_DSD_INC_APP_H_
+#define DSD_DSD_INC_APP_H_
+
+#include "dsd/motif_oracle.h"
+#include "dsd/result.h"
+#include "graph/graph.h"
+
+namespace dsd {
+
+/// Returns the (kmax, Psi)-core computed bottom-up via Algorithm 3.
+DensestResult IncApp(const Graph& graph, const MotifOracle& oracle);
+
+}  // namespace dsd
+
+#endif  // DSD_DSD_INC_APP_H_

@@ -1,0 +1,35 @@
+#include "dsd/measure.h"
+
+#include <algorithm>
+
+#include "graph/subgraph.h"
+
+namespace dsd {
+
+uint64_t MeasureInstances(const Graph& graph, const MotifOracle& oracle,
+                          std::span<const VertexId> vertices) {
+  if (vertices.empty()) return 0;
+  Subgraph sub = InducedSubgraph(graph, vertices);
+  return oracle.CountInstances(sub.graph, {});
+}
+
+double MeasureDensity(const Graph& graph, const MotifOracle& oracle,
+                      std::span<const VertexId> vertices) {
+  if (vertices.empty()) return 0.0;
+  return static_cast<double>(MeasureInstances(graph, oracle, vertices)) /
+         static_cast<double>(vertices.size());
+}
+
+void FillResult(const Graph& graph, const MotifOracle& oracle,
+                std::vector<VertexId> vertices, DensestResult& result) {
+  std::sort(vertices.begin(), vertices.end());
+  result.vertices = std::move(vertices);
+  result.instances = MeasureInstances(graph, oracle, result.vertices);
+  result.density =
+      result.vertices.empty()
+          ? 0.0
+          : static_cast<double>(result.instances) /
+                static_cast<double>(result.vertices.size());
+}
+
+}  // namespace dsd

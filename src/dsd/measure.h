@@ -1,0 +1,28 @@
+// Helpers to measure a candidate subgraph against an oracle.
+#ifndef DSD_DSD_MEASURE_H_
+#define DSD_DSD_MEASURE_H_
+
+#include <span>
+#include <vector>
+
+#include "dsd/motif_oracle.h"
+#include "dsd/result.h"
+#include "graph/graph.h"
+
+namespace dsd {
+
+/// mu(G[vertices], Psi): instances inside the induced subgraph.
+uint64_t MeasureInstances(const Graph& graph, const MotifOracle& oracle,
+                          std::span<const VertexId> vertices);
+
+/// rho(G[vertices], Psi); 0 for the empty set.
+double MeasureDensity(const Graph& graph, const MotifOracle& oracle,
+                      std::span<const VertexId> vertices);
+
+/// Fills result.vertices (sorted), result.instances and result.density.
+void FillResult(const Graph& graph, const MotifOracle& oracle,
+                std::vector<VertexId> vertices, DensestResult& result);
+
+}  // namespace dsd
+
+#endif  // DSD_DSD_MEASURE_H_

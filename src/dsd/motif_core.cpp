@@ -1,0 +1,120 @@
+#include "dsd/motif_core.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <utility>
+
+#include "graph/subgraph.h"
+
+namespace dsd {
+
+std::vector<VertexId> MotifCoreDecomposition::CoreVertices(uint64_t k) const {
+  std::vector<VertexId> vertices;
+  for (VertexId v = 0; v < core.size(); ++v) {
+    if (core[v] >= k) vertices.push_back(v);
+  }
+  return vertices;
+}
+
+std::vector<VertexId> MotifCoreDecomposition::BestResidualVertices() const {
+  std::vector<VertexId> vertices(removal_order.begin() +
+                                     static_cast<ptrdiff_t>(best_residual_start),
+                                 removal_order.end());
+  std::sort(vertices.begin(), vertices.end());
+  return vertices;
+}
+
+MotifCoreDecomposition MotifCoreDecompose(const Graph& graph,
+                                          const MotifOracle& oracle) {
+  const VertexId n = graph.NumVertices();
+  MotifCoreDecomposition result;
+  result.core.assign(n, 0);
+  result.removal_order.reserve(n);
+  result.residual_density.reserve(n);
+  if (n == 0) return result;
+
+  std::vector<uint64_t> degree = oracle.Degrees(graph, {});
+  uint64_t remaining_instances = 0;
+  for (uint64_t d : degree) remaining_instances += d;
+  assert(remaining_instances % oracle.MotifSize() == 0);
+  remaining_instances /= oracle.MotifSize();
+  result.total_instances = remaining_instances;
+
+  // Lazy min-heap: entries (degree-at-push, vertex); stale entries are
+  // skipped on pop. Degrees can be astronomically large for big motifs, so a
+  // bucket queue (as in Batagelj-Zaversnik) is not applicable generically.
+  using Entry = std::pair<uint64_t, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (VertexId v = 0; v < n; ++v) heap.emplace(degree[v], v);
+
+  std::vector<char> alive(n, 1);
+  std::vector<uint64_t> delta(n, 0);
+  std::vector<VertexId> touched;
+  uint64_t k = 0;
+  VertexId remaining_vertices = n;
+
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (!alive[v] || d != degree[v]) continue;  // stale
+
+    result.residual_density.push_back(
+        static_cast<double>(remaining_instances) / remaining_vertices);
+    if (result.residual_density.back() > result.best_residual_density) {
+      result.best_residual_density = result.residual_density.back();
+      result.best_residual_start = result.removal_order.size();
+    }
+
+    k = std::max(k, degree[v]);
+    result.core[v] = k;
+    result.removal_order.push_back(v);
+    alive[v] = 0;
+    --remaining_vertices;
+
+    touched.clear();
+    uint64_t destroyed =
+        oracle.PeelVertex(graph, v, alive, [&](VertexId u, uint64_t count) {
+          if (delta[u] == 0) touched.push_back(u);
+          delta[u] += count;
+        });
+    assert(destroyed <= remaining_instances);
+    remaining_instances -= destroyed;
+    for (VertexId u : touched) {
+      assert(alive[u]);
+      assert(delta[u] <= degree[u]);
+      degree[u] -= delta[u];
+      delta[u] = 0;
+      heap.emplace(degree[u], u);
+    }
+  }
+  assert(remaining_instances == 0);
+  result.kmax = k;
+  return result;
+}
+
+std::vector<VertexId> RestrictToCore(const Graph& graph,
+                                     const MotifOracle& oracle,
+                                     const std::vector<VertexId>& vertices,
+                                     uint64_t k) {
+  // Batch rounds: recompute degrees on the survivor set, drop every vertex
+  // below k, repeat to fixpoint. Unlike incremental peeling this costs
+  // nothing per *removed* vertex — crucial for CoreApp, whose windows are
+  // peeled at a level that usually annihilates them outright.
+  std::vector<VertexId> survivors(vertices);
+  std::sort(survivors.begin(), survivors.end());
+  while (!survivors.empty()) {
+    Subgraph sub = InducedSubgraph(graph, survivors);
+    std::vector<uint64_t> degree = oracle.Degrees(sub.graph, {});
+    std::vector<VertexId> next;
+    next.reserve(survivors.size());
+    for (VertexId v = 0; v < sub.graph.NumVertices(); ++v) {
+      if (degree[v] >= k) next.push_back(sub.to_parent[v]);
+    }
+    if (next.size() == survivors.size()) break;
+    survivors = std::move(next);
+  }
+  return survivors;
+}
+
+}  // namespace dsd

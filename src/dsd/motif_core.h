@@ -1,0 +1,56 @@
+// (k, Psi)-core decomposition by peeling (Algorithm 3), generic over the
+// motif oracle, plus the residual-density bookkeeping that powers PeelApp
+// (Algorithm 2), IncApp (Algorithm 5) and CoreExact's Pruning1.
+#ifndef DSD_DSD_MOTIF_CORE_H_
+#define DSD_DSD_MOTIF_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dsd/motif_oracle.h"
+#include "graph/graph.h"
+
+namespace dsd {
+
+/// Output of a full (k, Psi)-core decomposition of a graph.
+struct MotifCoreDecomposition {
+  /// core[v] = motif-core number of v (Definition 6's order).
+  std::vector<uint64_t> core;
+  /// Maximum motif-core number.
+  uint64_t kmax = 0;
+  /// Vertices in peeling order; the suffix starting at i induces the
+  /// residual graph right before the i-th removal.
+  std::vector<VertexId> removal_order;
+  /// residual_density[i] = rho of the residual graph induced by
+  /// removal_order[i..n) (so residual_density[0] = rho(G, Psi)).
+  std::vector<double> residual_density;
+  /// mu(G, Psi) of the full graph.
+  uint64_t total_instances = 0;
+  /// Highest residual density rho' (Pruning1) and the suffix attaining it.
+  double best_residual_density = 0.0;
+  size_t best_residual_start = 0;
+
+  /// Vertices with core number >= k, sorted (the (k, Psi)-core).
+  std::vector<VertexId> CoreVertices(uint64_t k) const;
+  /// Vertices of the best residual subgraph (PeelApp's answer), sorted.
+  std::vector<VertexId> BestResidualVertices() const;
+};
+
+/// Full decomposition of `graph` w.r.t. the oracle's motif. Runs the peeling
+/// loop with a lazy min-heap; per removal the oracle enumerates the lost
+/// instances among still-alive vertices.
+MotifCoreDecomposition MotifCoreDecompose(const Graph& graph,
+                                          const MotifOracle& oracle);
+
+/// Restricts `vertices` (ids of `graph`) to the (k, Psi)-core of the induced
+/// subgraph G[vertices]: iteratively drops members with motif-degree < k.
+/// Returns the surviving vertices, sorted. Used by CoreExact to tighten a
+/// connected component as the binary-search lower bound grows.
+std::vector<VertexId> RestrictToCore(const Graph& graph,
+                                     const MotifOracle& oracle,
+                                     const std::vector<VertexId>& vertices,
+                                     uint64_t k);
+
+}  // namespace dsd
+
+#endif  // DSD_DSD_MOTIF_CORE_H_

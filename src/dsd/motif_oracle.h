@@ -1,0 +1,130 @@
+// MotifOracle: the abstraction that lets every algorithm in the library run
+// unchanged for h-clique densities (the CDS problem, Sections 4-6) and for
+// arbitrary pattern densities (the PDS problem, Section 7).
+//
+// An oracle encapsulates one motif Psi and answers instance-level queries on
+// any graph (the algorithms repeatedly apply it to induced subgraphs such as
+// (k, Psi)-cores). CliqueOracle is backed by the kClist enumerator;
+// PatternOracle by the generic embedding engine with specialised star/4-cycle
+// kernels (appendix D).
+#ifndef DSD_DSD_MOTIF_ORACLE_H_
+#define DSD_DSD_MOTIF_ORACLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pattern/isomorphism.h"
+#include "pattern/pattern.h"
+
+namespace dsd {
+
+/// Receives (vertex, count) increments: `count` instances containing both the
+/// peeled vertex and `u` were destroyed. May fire several times for one u.
+using PeelCallback = std::function<void(VertexId u, uint64_t count)>;
+
+/// Motif query interface. Implementations are stateless w.r.t. any particular
+/// graph; every method takes the graph (and an optional alive mask — empty
+/// means all vertices alive) explicitly.
+class MotifOracle {
+ public:
+  virtual ~MotifOracle() = default;
+
+  /// |V_Psi|: vertices in the motif.
+  virtual int MotifSize() const = 0;
+
+  /// Display name ("3-clique", "diamond", ...).
+  virtual std::string Name() const = 0;
+
+  /// Motif-degree deg(v, Psi) for every vertex, restricted to alive.
+  virtual std::vector<uint64_t> Degrees(const Graph& graph,
+                                        std::span<const char> alive) const = 0;
+
+  /// mu(G, Psi) restricted to alive.
+  virtual uint64_t CountInstances(const Graph& graph,
+                                  std::span<const char> alive) const = 0;
+
+  /// Reports, via `cb`, the per-vertex instance losses caused by removing `v`
+  /// from the alive set (v itself excluded), and returns the total number of
+  /// destroyed instances. `alive[v]` may already be cleared by the caller.
+  virtual uint64_t PeelVertex(const Graph& graph, VertexId v,
+                              std::span<const char> alive,
+                              const PeelCallback& cb) const = 0;
+
+  /// Distinct instances grouped by vertex set (construct+, Algorithm 7).
+  /// For cliques every group has multiplicity 1.
+  virtual std::vector<InstanceGroup> Groups(
+      const Graph& graph, std::span<const char> alive) const = 0;
+
+  /// Upper bound on each vertex's motif-core number, cheap to compute; used
+  /// by CoreApp to order vertices and to stop its top-down search
+  /// (Section 6.2's gamma). Must satisfy bound[v] >= core(v, Psi).
+  virtual std::vector<uint64_t> CoreNumberUpperBounds(
+      const Graph& graph) const = 0;
+};
+
+/// Oracle for h-cliques (h >= 2). gamma(v) = C(core(v), h-1), which bounds
+/// the clique-core number: the (k, Psi)-core has min edge-degree f(k) with
+/// C(f(k), h-1) >= k, so every member sits in the f(k)-core.
+class CliqueOracle : public MotifOracle {
+ public:
+  explicit CliqueOracle(int h);
+
+  int MotifSize() const override { return h_; }
+  std::string Name() const override;
+  std::vector<uint64_t> Degrees(const Graph& graph,
+                                std::span<const char> alive) const override;
+  uint64_t CountInstances(const Graph& graph,
+                          std::span<const char> alive) const override;
+  uint64_t PeelVertex(const Graph& graph, VertexId v,
+                      std::span<const char> alive,
+                      const PeelCallback& cb) const override;
+  std::vector<InstanceGroup> Groups(const Graph& graph,
+                                    std::span<const char> alive) const override;
+  std::vector<uint64_t> CoreNumberUpperBounds(
+      const Graph& graph) const override;
+
+  int h() const { return h_; }
+
+ private:
+  int h_;
+};
+
+/// Oracle for arbitrary connected patterns. Uses the closed-form star /
+/// 4-cycle kernels of appendix D when the pattern allows, the generic
+/// embedding enumerator otherwise.
+class PatternOracle : public MotifOracle {
+ public:
+  /// use_special_kernels = false forces the generic embedding engine even
+  /// for stars and 4-cycles (the bench_ablation baseline).
+  explicit PatternOracle(Pattern pattern, bool use_special_kernels = true);
+
+  int MotifSize() const override { return pattern_.size(); }
+  std::string Name() const override { return pattern_.name(); }
+  std::vector<uint64_t> Degrees(const Graph& graph,
+                                std::span<const char> alive) const override;
+  uint64_t CountInstances(const Graph& graph,
+                          std::span<const char> alive) const override;
+  uint64_t PeelVertex(const Graph& graph, VertexId v,
+                      std::span<const char> alive,
+                      const PeelCallback& cb) const override;
+  std::vector<InstanceGroup> Groups(const Graph& graph,
+                                    std::span<const char> alive) const override;
+  std::vector<uint64_t> CoreNumberUpperBounds(
+      const Graph& graph) const override;
+
+  const Pattern& pattern() const { return pattern_; }
+
+ private:
+  Pattern pattern_;
+  int star_tails_;     // > 0 iff pattern is K_{1,x}
+  bool is_four_cycle_;
+};
+
+}  // namespace dsd
+
+#endif  // DSD_DSD_MOTIF_ORACLE_H_

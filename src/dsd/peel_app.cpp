@@ -1,0 +1,27 @@
+#include "dsd/peel_app.h"
+
+#include "dsd/measure.h"
+#include "dsd/motif_core.h"
+#include "util/timer.h"
+
+namespace dsd {
+
+DensestResult PeelApp(const Graph& graph, const MotifOracle& oracle) {
+  Timer timer;
+  DensestResult result;
+  // The peeling loop of Algorithm 2 is exactly the decomposition loop of
+  // Algorithm 3 with residual-density tracking; the answer is the residual
+  // subgraph of maximum density.
+  MotifCoreDecomposition decomposition = MotifCoreDecompose(graph, oracle);
+  result.stats.kmax =
+      static_cast<uint32_t>(std::min<uint64_t>(decomposition.kmax, UINT32_MAX));
+  if (decomposition.best_residual_density > 0.0) {
+    FillResult(graph, oracle, decomposition.BestResidualVertices(), result);
+  } else {
+    FillResult(graph, oracle, {}, result);
+  }
+  result.stats.total_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace dsd

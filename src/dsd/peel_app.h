@@ -1,0 +1,20 @@
+// PeelApp (Algorithm 2): the greedy peeling 1/|V_Psi|-approximation baseline
+// of Charikar (h = 2) and Tsourakakis (h-cliques), generalised to patterns
+// by Lemma 10.
+#ifndef DSD_DSD_PEEL_APP_H_
+#define DSD_DSD_PEEL_APP_H_
+
+#include "dsd/motif_oracle.h"
+#include "dsd/result.h"
+#include "graph/graph.h"
+
+namespace dsd {
+
+/// Repeatedly removes the vertex of minimum motif-degree, tracking the
+/// densest residual subgraph seen; returns that subgraph.
+/// Approximation guarantee: rho(answer) >= rho_opt / |V_Psi|.
+DensestResult PeelApp(const Graph& graph, const MotifOracle& oracle);
+
+}  // namespace dsd
+
+#endif  // DSD_DSD_PEEL_APP_H_

@@ -1,0 +1,44 @@
+// Result and instrumentation types shared by all DSD algorithms.
+#ifndef DSD_DSD_RESULT_H_
+#define DSD_DSD_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace dsd {
+
+/// Per-run instrumentation. Populated opportunistically by each algorithm;
+/// consumed by the reproduction harness (Figure 9, Figure 10, Table 3).
+struct AlgoStats {
+  /// Wall-clock total.
+  double total_seconds = 0.0;
+  /// Time spent in (k, Psi)-core decomposition (Table 3 numerator).
+  double decomposition_seconds = 0.0;
+  /// Binary-search iterations executed.
+  int binary_search_iterations = 0;
+  /// Flow-network node counts: entry 0 is the network the baseline would
+  /// build on the whole graph, entry 1 the first core-located network, then
+  /// one entry per binary-search iteration (Figure 9's x-axis -1, 0, 1, ...).
+  std::vector<uint64_t> flow_network_sizes;
+  /// Maximum motif-core number kmax, when the algorithm computes it.
+  uint32_t kmax = 0;
+  /// Vertices of the subgraph the CDS was located in before flow search.
+  uint64_t located_vertices = 0;
+};
+
+/// A densest-subgraph answer.
+struct DensestResult {
+  /// Vertices of the returned subgraph (ids of the input graph), sorted.
+  std::vector<VertexId> vertices;
+  /// mu(D, Psi): number of motif instances in the subgraph.
+  uint64_t instances = 0;
+  /// rho(D, Psi) = instances / |vertices| (0 for an empty result).
+  double density = 0.0;
+  AlgoStats stats;
+};
+
+}  // namespace dsd
+
+#endif  // DSD_DSD_RESULT_H_

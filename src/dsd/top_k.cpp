@@ -1,0 +1,36 @@
+#include "dsd/top_k.h"
+
+#include "dsd/core_app.h"
+#include "dsd/core_exact.h"
+#include "graph/subgraph.h"
+
+namespace dsd {
+
+std::vector<DensestResult> ExtractTopKDensest(const Graph& graph,
+                                              const MotifOracle& oracle,
+                                              int k,
+                                              const TopKOptions& options) {
+  std::vector<DensestResult> extracted;
+  std::vector<char> removed(graph.NumVertices(), 0);
+  for (int round = 0; round < k; ++round) {
+    std::vector<VertexId> keep;
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      if (!removed[v]) keep.push_back(v);
+    }
+    if (keep.size() < 2) break;
+    Subgraph residual = InducedSubgraph(graph, keep);
+    DensestResult local = options.exact ? CoreExact(residual.graph, oracle)
+                                        : CoreApp(residual.graph, oracle);
+    if (local.vertices.empty() || local.density <= 0.0 ||
+        local.density < options.min_density) {
+      break;
+    }
+    // Translate back to original ids.
+    local.vertices = residual.ToParent(local.vertices);
+    for (VertexId v : local.vertices) removed[v] = 1;
+    extracted.push_back(std::move(local));
+  }
+  return extracted;
+}
+
+}  // namespace dsd

@@ -1,0 +1,36 @@
+// Top-k densest subgraph extraction: repeatedly report the current densest
+// subgraph and remove its vertices. This is the standard peeling recipe for
+// disjoint dense-community extraction that the paper's introduction
+// motivates (community detection, DBLP research groups) and that
+// examples/community_detection.cpp demonstrates.
+#ifndef DSD_DSD_TOP_K_H_
+#define DSD_DSD_TOP_K_H_
+
+#include <vector>
+
+#include "dsd/motif_oracle.h"
+#include "dsd/result.h"
+#include "graph/graph.h"
+
+namespace dsd {
+
+/// Extraction knobs.
+struct TopKOptions {
+  /// Use CoreExact per round (exact) or CoreApp (approximate, faster).
+  bool exact = true;
+  /// Stop early when a round's density falls below this threshold.
+  double min_density = 0.0;
+};
+
+/// Extracts up to k vertex-disjoint dense subgraphs in extraction order.
+/// Each entry is the densest subgraph of the residual graph at its round;
+/// vertices are ids of the ORIGINAL graph. Stops early when the residual
+/// holds no instance (density 0) or falls under options.min_density.
+std::vector<DensestResult> ExtractTopKDensest(const Graph& graph,
+                                              const MotifOracle& oracle,
+                                              int k,
+                                              const TopKOptions& options = {});
+
+}  // namespace dsd
+
+#endif  // DSD_DSD_TOP_K_H_

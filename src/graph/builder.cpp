@@ -1,0 +1,52 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dsd {
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  EnsureVertices(std::max(u, v) + 1);
+  edges_.push_back(NormalizeEdge(u, v));
+}
+
+void GraphBuilder::EnsureVertices(VertexId n) {
+  if (n > num_vertices_) num_vertices_ = n;
+}
+
+Graph GraphBuilder::Build() {
+  std::vector<Edge> edges = std::move(edges_);
+  edges_.clear();
+
+  // Drop self-loops, dedupe.
+  std::erase_if(edges, [](const Edge& e) { return e.first == e.second; });
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  const VertexId n = num_vertices_;
+  num_vertices_ = 0;
+
+  std::vector<EdgeId> offsets(n + 1, 0);
+  for (const Edge& e : edges) {
+    ++offsets[e.first + 1];
+    ++offsets[e.second + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<VertexId> neighbors(edges.size() * 2);
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : edges) {
+    neighbors[cursor[e.first]++] = e.second;
+    neighbors[cursor[e.second]++] = e.first;
+  }
+  // Input edges were globally sorted, so each adjacency list receives its
+  // smaller-endpoint entries in order; larger-endpoint entries interleave.
+  // Sort each list to guarantee the CSR invariant.
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(neighbors.begin() + static_cast<ptrdiff_t>(offsets[v]),
+              neighbors.begin() + static_cast<ptrdiff_t>(offsets[v + 1]));
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace dsd

@@ -1,0 +1,41 @@
+// Mutable edge accumulator that normalizes raw input into a Graph.
+#ifndef DSD_GRAPH_BUILDER_H_
+#define DSD_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace dsd {
+
+/// Accumulates edges (in any order, with duplicates and self-loops allowed on
+/// input) and produces a normalized simple Graph: self-loops dropped,
+/// parallel edges collapsed, adjacency sorted.
+class GraphBuilder {
+ public:
+  /// num_vertices may be 0; it grows automatically to cover every endpoint.
+  explicit GraphBuilder(VertexId num_vertices = 0)
+      : num_vertices_(num_vertices) {}
+
+  /// Records the undirected edge {u, v}. Self-loops are silently dropped at
+  /// Build() time; duplicates are collapsed.
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Number of vertices the builder currently spans.
+  VertexId NumVertices() const { return num_vertices_; }
+
+  /// Ensures the graph has at least n vertices (isolated if never mentioned).
+  void EnsureVertices(VertexId n);
+
+  /// Produces the normalized graph. The builder is left empty.
+  Graph Build();
+
+ private:
+  VertexId num_vertices_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace dsd
+
+#endif  // DSD_GRAPH_BUILDER_H_

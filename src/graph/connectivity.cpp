@@ -1,0 +1,69 @@
+#include "graph/connectivity.h"
+
+#include <limits>
+#include <queue>
+
+namespace dsd {
+
+std::vector<std::vector<VertexId>> ComponentLabels::Groups() const {
+  std::vector<std::vector<VertexId>> groups(num_components);
+  for (VertexId v = 0; v < component.size(); ++v) {
+    groups[component[v]].push_back(v);
+  }
+  return groups;
+}
+
+ComponentLabels ConnectedComponents(const Graph& graph) {
+  constexpr VertexId kUnset = std::numeric_limits<VertexId>::max();
+  ComponentLabels labels;
+  labels.component.assign(graph.NumVertices(), kUnset);
+
+  std::vector<VertexId> queue;
+  for (VertexId start = 0; start < graph.NumVertices(); ++start) {
+    if (labels.component[start] != kUnset) continue;
+    const VertexId id = labels.num_components++;
+    labels.component[start] = id;
+    queue.assign(1, start);
+    while (!queue.empty()) {
+      VertexId v = queue.back();
+      queue.pop_back();
+      for (VertexId w : graph.Neighbors(v)) {
+        if (labels.component[w] == kUnset) {
+          labels.component[w] = id;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return labels;
+}
+
+std::vector<VertexId> BfsDistances(const Graph& graph, VertexId source) {
+  constexpr VertexId kInf = std::numeric_limits<VertexId>::max();
+  std::vector<VertexId> dist(graph.NumVertices(), kInf);
+  dist[source] = 0;
+  std::queue<VertexId> queue;
+  queue.push(source);
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop();
+    for (VertexId w : graph.Neighbors(v)) {
+      if (dist[w] == kInf) {
+        dist[w] = dist[v] + 1;
+        queue.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+VertexId Eccentricity(const Graph& graph, VertexId source) {
+  constexpr VertexId kInf = std::numeric_limits<VertexId>::max();
+  VertexId ecc = 0;
+  for (VertexId d : BfsDistances(graph, source)) {
+    if (d != kInf && d > ecc) ecc = d;
+  }
+  return ecc;
+}
+
+}  // namespace dsd

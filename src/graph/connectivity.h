@@ -1,0 +1,33 @@
+// Connected components and BFS distances.
+#ifndef DSD_GRAPH_CONNECTIVITY_H_
+#define DSD_GRAPH_CONNECTIVITY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace dsd {
+
+/// Result of a connected-components labelling.
+struct ComponentLabels {
+  /// component[v] in [0, num_components), assigned in order of discovery.
+  std::vector<VertexId> component;
+  VertexId num_components = 0;
+
+  /// Vertex lists grouped by component id.
+  std::vector<std::vector<VertexId>> Groups() const;
+};
+
+/// Labels connected components via BFS. O(n + m).
+ComponentLabels ConnectedComponents(const Graph& graph);
+
+/// BFS distances from source; unreachable vertices get UINT32_MAX.
+std::vector<VertexId> BfsDistances(const Graph& graph, VertexId source);
+
+/// Eccentricity of source within its component (max BFS distance).
+VertexId Eccentricity(const Graph& graph, VertexId source);
+
+}  // namespace dsd
+
+#endif  // DSD_GRAPH_CONNECTIVITY_H_

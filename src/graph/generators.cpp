@@ -1,0 +1,217 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/builder.h"
+#include "util/random.h"
+
+namespace dsd::gen {
+
+Graph ErdosRenyi(VertexId n, double p, uint64_t seed) {
+  GraphBuilder builder(n);
+  if (n >= 2 && p > 0) {
+    if (p >= 1.0) {
+      for (VertexId u = 0; u < n; ++u)
+        for (VertexId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+    } else {
+      // Geometric skipping over the C(n,2) potential edges in row-major
+      // order: skip ~ Geometric(p).
+      Rng rng(seed);
+      const double log_1p = std::log1p(-p);
+      uint64_t total = static_cast<uint64_t>(n) * (n - 1) / 2;
+      uint64_t index = 0;
+      while (true) {
+        double r = rng.NextDouble();
+        // skip >= 0 with P(skip = k) = p (1-p)^k.
+        uint64_t skip =
+            static_cast<uint64_t>(std::floor(std::log1p(-r) / log_1p));
+        if (index > total - 1 || skip > total - 1 - index) break;
+        index += skip;
+        // Decode linear index into (u, v), u < v.
+        // Row u occupies indices [u*n - u(u+3)/2, ...) — invert by search.
+        uint64_t u_lo = 0;
+        uint64_t u_hi = n - 1;
+        auto row_start = [n](uint64_t u) {
+          return u * n - u * (u + 1) / 2;
+        };
+        while (u_lo < u_hi) {
+          uint64_t mid = (u_lo + u_hi + 1) / 2;
+          if (row_start(mid) <= index) {
+            u_lo = mid;
+          } else {
+            u_hi = mid - 1;
+          }
+        }
+        VertexId u = static_cast<VertexId>(u_lo);
+        VertexId v = static_cast<VertexId>(u + 1 + (index - row_start(u_lo)));
+        builder.AddEdge(u, v);
+        ++index;
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph Rmat(VertexId n, EdgeId target_edges, uint64_t seed, double a, double b,
+           double c, double d) {
+  GraphBuilder builder(n);
+  if (n >= 2 && target_edges > 0) {
+    Rng rng(seed);
+    int scale = 0;
+    while ((VertexId{1} << scale) < n) ++scale;
+    const double ab = a + b;
+    const double abc = a + b + c;
+    (void)d;
+    for (EdgeId e = 0; e < target_edges; ++e) {
+      VertexId u = 0;
+      VertexId v = 0;
+      for (int level = 0; level < scale; ++level) {
+        double r = rng.NextDouble();
+        u <<= 1;
+        v <<= 1;
+        if (r < a) {
+          // top-left quadrant: no bits set.
+        } else if (r < ab) {
+          v |= 1;
+        } else if (r < abc) {
+          u |= 1;
+        } else {
+          u |= 1;
+          v |= 1;
+        }
+      }
+      if (u < n && v < n && u != v) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+Graph Ssca(VertexId n, VertexId max_clique_size, double inter_p,
+           uint64_t seed) {
+  GraphBuilder builder(n);
+  Rng rng(seed);
+  // Partition [0, n) into random-size cliques.
+  std::vector<VertexId> clique_start;
+  VertexId v = 0;
+  while (v < n) {
+    clique_start.push_back(v);
+    VertexId size =
+        1 + static_cast<VertexId>(rng.NextBounded(max_clique_size));
+    VertexId end = std::min<VertexId>(n, v + size);
+    for (VertexId i = v; i < end; ++i)
+      for (VertexId j = i + 1; j < end; ++j) builder.AddEdge(i, j);
+    v = end;
+  }
+  // Sparse inter-clique edges: for each clique, link a random member to a
+  // random member of a handful of random other cliques.
+  const size_t num_cliques = clique_start.size();
+  clique_start.push_back(n);
+  if (num_cliques > 1 && inter_p > 0) {
+    for (size_t ci = 0; ci < num_cliques; ++ci) {
+      // ~ 10 * inter_p partner cliques each: sparse connectivity between
+      // blocks, as in GTgraph's SSCA#2 inter-clique phase.
+      uint64_t tries =
+          std::max<uint64_t>(1, static_cast<uint64_t>(inter_p * 10.0));
+      for (uint64_t t = 0; t < tries; ++t) {
+        size_t cj = rng.NextBounded(num_cliques);
+        if (cj == ci) continue;
+        VertexId ui = clique_start[ci] +
+                      static_cast<VertexId>(rng.NextBounded(
+                          clique_start[ci + 1] - clique_start[ci]));
+        VertexId uj = clique_start[cj] +
+                      static_cast<VertexId>(rng.NextBounded(
+                          clique_start[cj + 1] - clique_start[cj]));
+        builder.AddEdge(ui, uj);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph BarabasiAlbert(VertexId n, VertexId edges_per_vertex, uint64_t seed) {
+  GraphBuilder builder(n);
+  if (n >= 2) {
+    Rng rng(seed);
+    const VertexId m0 = std::min<VertexId>(n, edges_per_vertex + 1);
+    // Seed: a small clique so early attachments have targets.
+    std::vector<VertexId> endpoint_pool;  // vertex repeated once per degree
+    for (VertexId i = 0; i < m0; ++i) {
+      for (VertexId j = i + 1; j < m0; ++j) {
+        builder.AddEdge(i, j);
+        endpoint_pool.push_back(i);
+        endpoint_pool.push_back(j);
+      }
+    }
+    for (VertexId v = m0; v < n; ++v) {
+      // Pick edges_per_vertex distinct targets proportional to degree.
+      std::vector<VertexId> targets;
+      for (VertexId attempt = 0;
+           targets.size() < edges_per_vertex && attempt < 32 * edges_per_vertex;
+           ++attempt) {
+        VertexId t = endpoint_pool[rng.NextBounded(endpoint_pool.size())];
+        if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+          targets.push_back(t);
+        }
+      }
+      for (VertexId t : targets) {
+        builder.AddEdge(v, t);
+        endpoint_pool.push_back(v);
+        endpoint_pool.push_back(t);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph PowerLawWithCommunities(VertexId n, VertexId edges_per_vertex,
+                              VertexId num_communities,
+                              VertexId community_size, double intra_p,
+                              uint64_t seed) {
+  Graph backbone = BarabasiAlbert(n, edges_per_vertex, seed);
+  GraphBuilder builder(n);
+  for (const Edge& e : backbone.Edges()) builder.AddEdge(e.first, e.second);
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (VertexId c = 0; c < num_communities; ++c) {
+    // Sample distinct members for this community.
+    std::vector<VertexId> members;
+    while (members.size() < community_size && members.size() < n) {
+      VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+      if (std::find(members.begin(), members.end(), v) == members.end()) {
+        members.push_back(v);
+      }
+    }
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (rng.NextBernoulli(intra_p)) {
+          builder.AddEdge(members[i], members[j]);
+        }
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph PlantedClique(VertexId n_background, double p_background,
+                    VertexId clique_size, uint64_t seed) {
+  Graph background = ErdosRenyi(n_background, p_background, seed);
+  GraphBuilder builder(n_background);
+  for (const Edge& e : background.Edges()) builder.AddEdge(e.first, e.second);
+  Rng rng(seed ^ 0xda3e39cb94b95bdbULL);
+  std::vector<VertexId> members;
+  while (members.size() < clique_size && members.size() < n_background) {
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n_background));
+    if (std::find(members.begin(), members.end(), v) == members.end()) {
+      members.push_back(v);
+    }
+  }
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      builder.AddEdge(members[i], members[j]);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace dsd::gen

@@ -1,0 +1,39 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dsd {
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  assert(!offsets_.empty());
+  assert(offsets_.back() == neighbors_.size());
+}
+
+EdgeId Graph::MaxDegree() const {
+  EdgeId best = 0;
+  for (VertexId v = 0; v < NumVertices(); ++v) best = std::max(best, Degree(v));
+  return best;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= NumVertices() || v >= NumVertices() || u == v) return false;
+  // Search the shorter adjacency list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(NumEdges());
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (VertexId v : Neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+}  // namespace dsd

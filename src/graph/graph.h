@@ -1,0 +1,63 @@
+// Immutable undirected simple graph in CSR (compressed sparse row) form.
+//
+// This is the substrate every algorithm in the library operates on. The
+// representation is the standard one used by high-performance graph systems:
+// a flat offsets array of size n+1 and a flat, per-vertex-sorted neighbor
+// array of size 2m. Sorted adjacency gives O(log d) HasEdge and linear-time
+// sorted intersections for clique enumeration.
+#ifndef DSD_GRAPH_GRAPH_H_
+#define DSD_GRAPH_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace dsd {
+
+/// Immutable undirected simple graph (no self-loops, no parallel edges).
+/// Construct via GraphBuilder or the generator/io helpers.
+class Graph {
+ public:
+  /// Empty graph.
+  Graph() : offsets_(1, 0) {}
+
+  /// Builds from prepared CSR arrays. offsets.size() == n+1,
+  /// neighbors.size() == offsets.back(), each adjacency list sorted.
+  /// GraphBuilder is the supported way to produce these.
+  Graph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors);
+
+  /// Number of vertices.
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges.
+  EdgeId NumEdges() const { return neighbors_.size() / 2; }
+
+  /// Degree of v.
+  EdgeId Degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// Maximum degree over all vertices (0 for the empty graph).
+  EdgeId MaxDegree() const;
+
+  /// Sorted neighbors of v.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  /// True iff the undirected edge {u, v} exists. O(log min(deg u, deg v)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// All edges as normalized (u < v) pairs, in CSR order.
+  std::vector<Edge> Edges() const;
+
+ private:
+  std::vector<EdgeId> offsets_;
+  std::vector<VertexId> neighbors_;
+};
+
+}  // namespace dsd
+
+#endif  // DSD_GRAPH_GRAPH_H_

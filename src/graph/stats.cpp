@@ -1,0 +1,81 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "graph/connectivity.h"
+#include "util/random.h"
+
+namespace dsd {
+
+namespace {
+
+// Double-sweep lower bound on the diameter starting from `source`.
+VertexId DoubleSweep(const Graph& graph, VertexId source) {
+  constexpr VertexId kInf = std::numeric_limits<VertexId>::max();
+  std::vector<VertexId> dist = BfsDistances(graph, source);
+  VertexId far = source;
+  VertexId best = 0;
+  for (VertexId v = 0; v < dist.size(); ++v) {
+    if (dist[v] != kInf && dist[v] > best) {
+      best = dist[v];
+      far = v;
+    }
+  }
+  return Eccentricity(graph, far);
+}
+
+}  // namespace
+
+GraphStats ComputeStats(const Graph& graph, uint32_t diameter_samples) {
+  GraphStats stats;
+  stats.num_vertices = graph.NumVertices();
+  stats.num_edges = graph.NumEdges();
+  stats.max_degree = graph.MaxDegree();
+  stats.average_degree =
+      stats.num_vertices == 0
+          ? 0.0
+          : 2.0 * static_cast<double>(stats.num_edges) / stats.num_vertices;
+
+  ComponentLabels labels = ConnectedComponents(graph);
+  stats.num_components = labels.num_components;
+
+  // Diameter: double-sweep from sampled sources (plus the max-degree vertex).
+  if (stats.num_vertices > 0 && stats.num_edges > 0) {
+    Rng rng(0x5eed5eedULL);
+    std::vector<VertexId> sources;
+    VertexId hub = 0;
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      if (graph.Degree(v) > graph.Degree(hub)) hub = v;
+    }
+    sources.push_back(hub);
+    const uint32_t samples = std::max<uint32_t>(1, diameter_samples);
+    for (uint32_t i = 0; i + 1 < samples && i < graph.NumVertices(); ++i) {
+      sources.push_back(
+          static_cast<VertexId>(rng.NextBounded(graph.NumVertices())));
+    }
+    for (VertexId s : sources) {
+      stats.diameter = std::max(stats.diameter, DoubleSweep(graph, s));
+    }
+  }
+
+  // Power-law alpha via discrete MLE with x_min = 1 over non-isolated
+  // vertices: alpha = 1 + n / sum ln(d_i / 0.5).
+  double log_sum = 0.0;
+  uint64_t tail = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    EdgeId d = graph.Degree(v);
+    if (d >= 1) {
+      log_sum += std::log(static_cast<double>(d) / 0.5);
+      ++tail;
+    }
+  }
+  stats.power_law_alpha = (tail > 0 && log_sum > 0)
+                              ? 1.0 + static_cast<double>(tail) / log_sum
+                              : 0.0;
+  return stats;
+}
+
+}  // namespace dsd

@@ -1,0 +1,36 @@
+// Dataset statistics, reproducing the columns of the paper's Figure 18
+// (appendix A): vertices, edges, connected components, diameter, power-law
+// decay alpha, kmax and (kmax, Psi)-core size are assembled by the harness
+// from these primitives plus the core machinery.
+#ifndef DSD_GRAPH_STATS_H_
+#define DSD_GRAPH_STATS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace dsd {
+
+/// Basic structural statistics of a graph.
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  VertexId num_components = 0;
+  /// Max eccentricity observed (exact for small graphs, sampled otherwise —
+  /// the paper also reports "maximum diameter" over components).
+  VertexId diameter = 0;
+  /// MLE exponent of the power-law degree tail (Clauset-Shalizi-Newman with
+  /// d_min = 1): alpha = 1 + n_tail / sum ln(d_i / (d_min - 0.5)).
+  double power_law_alpha = 0.0;
+  EdgeId max_degree = 0;
+  double average_degree = 0.0;
+};
+
+/// Computes GraphStats. `diameter_samples` bounds the number of BFS sweeps
+/// used for the diameter estimate (0 = exact double-sweep per component up to
+/// 64 components, otherwise sampled sources).
+GraphStats ComputeStats(const Graph& graph, uint32_t diameter_samples = 16);
+
+}  // namespace dsd
+
+#endif  // DSD_GRAPH_STATS_H_

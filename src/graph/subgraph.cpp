@@ -1,0 +1,46 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace dsd {
+
+std::vector<VertexId> Subgraph::ToParent(
+    std::span<const VertexId> local) const {
+  std::vector<VertexId> out;
+  out.reserve(local.size());
+  for (VertexId v : local) out.push_back(to_parent[v]);
+  return out;
+}
+
+Subgraph InducedSubgraph(const Graph& graph,
+                         std::span<const VertexId> vertices) {
+  Subgraph result;
+  result.to_parent.assign(vertices.begin(), vertices.end());
+  std::sort(result.to_parent.begin(), result.to_parent.end());
+  assert(std::adjacent_find(result.to_parent.begin(), result.to_parent.end()) ==
+         result.to_parent.end());
+
+  constexpr VertexId kAbsent = std::numeric_limits<VertexId>::max();
+  std::vector<VertexId> to_local(graph.NumVertices(), kAbsent);
+  for (VertexId i = 0; i < result.to_parent.size(); ++i) {
+    to_local[result.to_parent[i]] = i;
+  }
+
+  const VertexId n = static_cast<VertexId>(result.to_parent.size());
+  std::vector<EdgeId> offsets(n + 1, 0);
+  std::vector<VertexId> neighbors;
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId w : graph.Neighbors(result.to_parent[i])) {
+      if (to_local[w] != kAbsent) neighbors.push_back(to_local[w]);
+    }
+    offsets[i + 1] = neighbors.size();
+    // Parent adjacency is sorted and to_local is order-preserving, so each
+    // local adjacency list is already sorted.
+  }
+  result.graph = Graph(std::move(offsets), std::move(neighbors));
+  return result;
+}
+
+}  // namespace dsd

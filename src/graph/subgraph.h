@@ -1,0 +1,36 @@
+// Vertex-induced subgraph extraction with parent-graph mapping.
+//
+// The core-based algorithms repeatedly restrict attention to a (k, Psi)-core
+// or one of its connected components; this helper produces the compact
+// induced subgraph while remembering how to translate results back.
+#ifndef DSD_GRAPH_SUBGRAPH_H_
+#define DSD_GRAPH_SUBGRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace dsd {
+
+/// An induced subgraph plus the mapping from its compact vertex ids back to
+/// the parent graph's ids.
+struct Subgraph {
+  Graph graph;
+  /// to_parent[i] = parent-graph id of subgraph vertex i (strictly
+  /// increasing).
+  std::vector<VertexId> to_parent;
+
+  /// Maps a set of subgraph-local vertex ids back to parent ids.
+  std::vector<VertexId> ToParent(std::span<const VertexId> local) const;
+};
+
+/// Extracts the subgraph induced by `vertices` (need not be sorted; duplicates
+/// are an error in debug builds). O(sum of degrees of selected vertices).
+Subgraph InducedSubgraph(const Graph& graph,
+                         std::span<const VertexId> vertices);
+
+}  // namespace dsd
+
+#endif  // DSD_GRAPH_SUBGRAPH_H_

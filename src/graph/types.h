@@ -1,0 +1,28 @@
+// Fundamental integer types for the graph layer.
+#ifndef DSD_GRAPH_TYPES_H_
+#define DSD_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <utility>
+
+namespace dsd {
+
+/// Vertex identifier. 32 bits covers every graph in the paper's evaluation
+/// (largest: UK-2002 with 18.5M vertices) with headroom.
+using VertexId = uint32_t;
+
+/// Edge/offset index. 64 bits: UK-2002 has 298M undirected edges = 596M CSR
+/// slots, beyond 32-bit once doubled.
+using EdgeId = uint64_t;
+
+/// An undirected edge as an (ordered) vertex pair; Normalize() puts the
+/// smaller endpoint first so edges compare and hash consistently.
+using Edge = std::pair<VertexId, VertexId>;
+
+inline Edge NormalizeEdge(VertexId u, VertexId v) {
+  return u < v ? Edge{u, v} : Edge{v, u};
+}
+
+}  // namespace dsd
+
+#endif  // DSD_GRAPH_TYPES_H_

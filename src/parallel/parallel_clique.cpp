@@ -1,0 +1,47 @@
+#include "parallel/parallel_clique.h"
+
+#include "clique/clique_enumerator.h"
+#include "parallel/parallel_for.h"
+
+namespace dsd {
+
+uint64_t ParallelCliqueCount(const Graph& graph, int h, unsigned threads) {
+  const unsigned t = ResolveThreadCount(threads);
+  CliqueEnumerator enumerator(graph, h);
+  std::vector<uint64_t> partial(t, 0);
+  ParallelForStrided(graph.NumVertices(), t,
+                     [&](unsigned worker, uint64_t root) {
+                       enumerator.EnumerateFromRoot(
+                           static_cast<VertexId>(root),
+                           [&](std::span<const VertexId>) {
+                             ++partial[worker];
+                           });
+                     });
+  uint64_t total = 0;
+  for (uint64_t p : partial) total += p;
+  return total;
+}
+
+std::vector<uint64_t> ParallelCliqueDegrees(const Graph& graph, int h,
+                                            unsigned threads) {
+  const unsigned t = ResolveThreadCount(threads);
+  CliqueEnumerator enumerator(graph, h);
+  // Per-worker private accumulators avoid atomics on the hot path.
+  std::vector<std::vector<uint64_t>> partial(
+      t, std::vector<uint64_t>(graph.NumVertices(), 0));
+  ParallelForStrided(graph.NumVertices(), t,
+                     [&](unsigned worker, uint64_t root) {
+                       enumerator.EnumerateFromRoot(
+                           static_cast<VertexId>(root),
+                           [&](std::span<const VertexId> clique) {
+                             for (VertexId v : clique) ++partial[worker][v];
+                           });
+                     });
+  std::vector<uint64_t> degrees(graph.NumVertices(), 0);
+  for (const std::vector<uint64_t>& p : partial) {
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) degrees[v] += p[v];
+  }
+  return degrees;
+}
+
+}  // namespace dsd

@@ -1,0 +1,47 @@
+// Minimal data-parallel loop used by the parallel algorithms of Section 6.3.
+//
+// Deliberately tiny: static block partitioning over std::thread, no pools,
+// no work stealing. The workloads it carries (per-root clique enumeration,
+// per-vertex h-index updates) are balanced enough by shuffled/strided
+// assignment that anything fancier is not worth the dependency.
+#ifndef DSD_PARALLEL_PARALLEL_FOR_H_
+#define DSD_PARALLEL_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace dsd {
+
+/// Number of worker threads to use when the caller passes 0 ("auto").
+inline unsigned ResolveThreadCount(unsigned requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// Runs fn(thread_index, begin, end) on `threads` workers over [0, n) in
+/// strided blocks: worker i handles indices i, i+T, i+2T, ... — striding
+/// balances skewed per-index costs (hub vertices) across workers.
+///
+/// fn must be callable as fn(unsigned thread_index, uint64_t index).
+template <typename Fn>
+void ParallelForStrided(uint64_t n, unsigned threads, Fn fn) {
+  const unsigned t = ResolveThreadCount(threads);
+  if (t == 1 || n <= 1) {
+    for (uint64_t i = 0; i < n; ++i) fn(0u, i);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(t);
+  for (unsigned w = 0; w < t; ++w) {
+    workers.emplace_back([w, t, n, &fn]() {
+      for (uint64_t i = w; i < n; i += t) fn(w, i);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace dsd
+
+#endif  // DSD_PARALLEL_PARALLEL_FOR_H_

@@ -1,0 +1,93 @@
+#include "parallel/parallel_nucleus.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "clique/clique_enumerator.h"
+#include "parallel/parallel_for.h"
+
+namespace dsd {
+
+namespace {
+
+// H-index of values (destructive).
+uint64_t HIndex(std::vector<uint64_t>& values) {
+  std::sort(values.begin(), values.end(), std::greater<>());
+  uint64_t h = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= i + 1) {
+      h = i + 1;
+    } else {
+      break;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+NucleusDecomposition ParallelCliqueCoreDecomposition(const Graph& graph,
+                                                     int h,
+                                                     unsigned threads) {
+  const VertexId n = graph.NumVertices();
+  NucleusDecomposition result;
+  result.core.assign(n, 0);
+  if (n == 0) return result;
+
+  // Materialise instances (parallel-friendly flat layout).
+  std::vector<VertexId> instance_vertices;
+  CliqueEnumerator enumerator(graph, h);
+  enumerator.Enumerate([&](std::span<const VertexId> clique) {
+    instance_vertices.insert(instance_vertices.end(), clique.begin(),
+                             clique.end());
+  });
+  const size_t num_instances = instance_vertices.size() / h;
+  std::vector<std::vector<uint32_t>> incident(n);
+  for (size_t i = 0; i < num_instances; ++i) {
+    for (int j = 0; j < h; ++j) {
+      incident[instance_vertices[i * h + j]].push_back(
+          static_cast<uint32_t>(i));
+    }
+  }
+
+  std::vector<uint64_t> tau(n);
+  for (VertexId v = 0; v < n; ++v) tau[v] = incident[v].size();
+  std::vector<uint64_t> next(n);
+
+  // Synchronous (Jacobi) rounds: all vertices update from the snapshot.
+  const unsigned t = ResolveThreadCount(threads);
+  std::atomic<bool> changed{true};
+  while (changed.load(std::memory_order_relaxed)) {
+    changed.store(false, std::memory_order_relaxed);
+    ++result.iterations;
+    ParallelForStrided(n, t, [&](unsigned, uint64_t vi) {
+      const VertexId v = static_cast<VertexId>(vi);
+      if (incident[v].empty()) {
+        next[v] = 0;
+        return;
+      }
+      std::vector<uint64_t> values;
+      values.reserve(incident[v].size());
+      for (uint32_t i : incident[v]) {
+        uint64_t support = UINT64_MAX;
+        for (int j = 0; j < h; ++j) {
+          VertexId u = instance_vertices[static_cast<size_t>(i) * h + j];
+          if (u != v) support = std::min(support, tau[u]);
+        }
+        values.push_back(support);
+      }
+      uint64_t updated = std::min(tau[v], HIndex(values));
+      next[v] = updated;
+      if (updated != tau[v]) {
+        changed.store(true, std::memory_order_relaxed);
+      }
+    });
+    tau.swap(next);
+  }
+
+  result.core = std::move(tau);
+  for (uint64_t c : result.core) result.kmax = std::max(result.kmax, c);
+  return result;
+}
+
+}  // namespace dsd

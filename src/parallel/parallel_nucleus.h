@@ -1,0 +1,25 @@
+// Parallel (k, Psi)-core decomposition for h-cliques via synchronous h-index
+// iteration — the parallel route the paper points at in Section 6.3 (its
+// approximation algorithms only need the (kmax, Psi)-core, and local h-index
+// algorithms such as AND/Montresor et al. parallelise trivially).
+//
+// Jacobi-style sweeps: every vertex recomputes its h-index from the previous
+// round's values simultaneously; monotone convergence to the clique-core
+// numbers (identical to Algorithm 3's output).
+#ifndef DSD_PARALLEL_PARALLEL_NUCLEUS_H_
+#define DSD_PARALLEL_PARALLEL_NUCLEUS_H_
+
+#include "core/nucleus.h"
+#include "graph/graph.h"
+
+namespace dsd {
+
+/// Parallel clique-core numbers; agrees exactly with NucleusCliqueCores and
+/// MotifCoreDecompose. threads = 0 means "auto".
+NucleusDecomposition ParallelCliqueCoreDecomposition(const Graph& graph,
+                                                     int h,
+                                                     unsigned threads = 0);
+
+}  // namespace dsd
+
+#endif  // DSD_PARALLEL_PARALLEL_NUCLEUS_H_

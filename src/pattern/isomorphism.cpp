@@ -1,0 +1,159 @@
+#include "pattern/isomorphism.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace dsd {
+
+EmbeddingEnumerator::EmbeddingEnumerator(const Graph& graph,
+                                         const Pattern& pattern)
+    : graph_(graph), pattern_(pattern) {
+  assert(pattern_.IsConnected());
+  default_order_ = SearchOrderFrom(0);
+}
+
+std::vector<int> EmbeddingEnumerator::SearchOrderFrom(int start) const {
+  const int k = pattern_.size();
+  std::vector<int> order = {start};
+  uint32_t used = 1u << start;
+  while (static_cast<int>(order.size()) < k) {
+    // Greedy: next vertex with the most already-placed neighbors (maximises
+    // pruning); connectivity guarantees at least one such neighbor exists.
+    int best = -1;
+    int best_links = -1;
+    for (int p = 0; p < k; ++p) {
+      if ((used >> p) & 1u) continue;
+      int links = std::popcount(pattern_.AdjacencyMask(p) & used);
+      if (links > best_links) {
+        best_links = links;
+        best = p;
+      }
+    }
+    assert(best_links >= 1);
+    order.push_back(best);
+    used |= 1u << best;
+  }
+  return order;
+}
+
+void EmbeddingEnumerator::Backtrack(const std::vector<int>& order,
+                                    size_t depth, std::vector<VertexId>& image,
+                                    uint32_t used_pattern_mask,
+                                    std::span<const char> alive,
+                                    std::vector<char>& used_graph,
+                                    const EmbeddingCallback& cb) const {
+  if (depth == order.size()) {
+    cb(image);
+    return;
+  }
+  const int p = order[depth];
+  const uint32_t mapped_neighbors =
+      pattern_.AdjacencyMask(p) & used_pattern_mask;
+  assert(mapped_neighbors != 0);
+  // Anchor on the mapped neighbor with the smallest degree in G.
+  int anchor = -1;
+  for (int q = 0; q < pattern_.size(); ++q) {
+    if (((mapped_neighbors >> q) & 1u) &&
+        (anchor < 0 || graph_.Degree(image[q]) < graph_.Degree(image[anchor]))) {
+      anchor = q;
+    }
+  }
+  for (VertexId u : graph_.Neighbors(image[anchor])) {
+    if (used_graph[u]) continue;
+    if (!alive.empty() && !alive[u]) continue;
+    bool consistent = true;
+    for (int q = 0; q < pattern_.size() && consistent; ++q) {
+      if (q != anchor && ((mapped_neighbors >> q) & 1u) &&
+          !graph_.HasEdge(u, image[q])) {
+        consistent = false;
+      }
+    }
+    if (!consistent) continue;
+    image[p] = u;
+    used_graph[u] = 1;
+    Backtrack(order, depth + 1, image, used_pattern_mask | (1u << p), alive,
+              used_graph, cb);
+    used_graph[u] = 0;
+  }
+}
+
+void EmbeddingEnumerator::EnumerateAll(std::span<const char> alive,
+                                       const EmbeddingCallback& cb) const {
+  std::vector<VertexId> image(pattern_.size());
+  std::vector<char> used_graph(graph_.NumVertices(), 0);
+  const int p0 = default_order_[0];
+  for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+    if (!alive.empty() && !alive[v]) continue;
+    image[p0] = v;
+    used_graph[v] = 1;
+    Backtrack(default_order_, 1, image, 1u << p0, alive, used_graph, cb);
+    used_graph[v] = 0;
+  }
+}
+
+void EmbeddingEnumerator::EnumerateContaining(
+    VertexId v, std::span<const char> alive, const EmbeddingCallback& cb) const {
+  std::vector<VertexId> image(pattern_.size());
+  std::vector<char> used_graph(graph_.NumVertices(), 0);
+  for (int p = 0; p < pattern_.size(); ++p) {
+    std::vector<int> order = SearchOrderFrom(p);
+    image[p] = v;
+    used_graph[v] = 1;
+    Backtrack(order, 1, image, 1u << p, alive, used_graph, cb);
+    used_graph[v] = 0;
+  }
+}
+
+uint64_t EmbeddingEnumerator::CountInstances(
+    std::span<const char> alive) const {
+  uint64_t embeddings = 0;
+  EnumerateAll(alive, [&embeddings](std::span<const VertexId>) {
+    ++embeddings;
+  });
+  const uint64_t aut = pattern_.AutomorphismCount();
+  assert(embeddings % aut == 0);
+  return embeddings / aut;
+}
+
+std::vector<uint64_t> EmbeddingEnumerator::Degrees(
+    std::span<const char> alive) const {
+  std::vector<uint64_t> hits(graph_.NumVertices(), 0);
+  EnumerateAll(alive, [&hits](std::span<const VertexId> image) {
+    for (VertexId u : image) ++hits[u];
+  });
+  const uint64_t aut = pattern_.AutomorphismCount();
+  for (uint64_t& h : hits) {
+    assert(h % aut == 0);
+    h /= aut;
+  }
+  return hits;
+}
+
+std::vector<InstanceGroup> EmbeddingEnumerator::Groups(
+    std::span<const char> alive) const {
+  // vertex set -> distinct image edge sets.
+  std::map<std::vector<VertexId>, std::set<std::vector<Edge>>> groups;
+  std::vector<VertexId> vertices(pattern_.size());
+  std::vector<Edge> edge_image;
+  EnumerateAll(alive, [&](std::span<const VertexId> image) {
+    vertices.assign(image.begin(), image.end());
+    std::sort(vertices.begin(), vertices.end());
+    edge_image.clear();
+    for (const Edge& e : pattern_.edges()) {
+      edge_image.push_back(NormalizeEdge(image[e.first], image[e.second]));
+    }
+    std::sort(edge_image.begin(), edge_image.end());
+    groups[vertices].insert(edge_image);
+  });
+  std::vector<InstanceGroup> result;
+  result.reserve(groups.size());
+  for (auto& [vertex_set, edge_sets] : groups) {
+    result.push_back({vertex_set, edge_sets.size()});
+  }
+  return result;
+}
+
+}  // namespace dsd

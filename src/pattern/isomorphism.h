@@ -1,0 +1,81 @@
+// Subgraph-isomorphism embedding enumeration for small patterns.
+//
+// An *embedding* is an injective map f: V_Psi -> V_G preserving pattern edges
+// (Definition 7; non-induced). Two embeddings describe the same *instance*
+// (Definition 8) iff they have the same image edge set, which happens iff
+// they differ by an automorphism of Psi. Hence:
+//     #instances           = #embeddings / |Aut(Psi)|
+//     pattern-degree(v)    = #embeddings whose image contains v / |Aut(Psi)|
+// Both identities are exploited throughout to avoid explicit deduplication;
+// explicit instance grouping (needed by the construct+ flow network of
+// Algorithm 7) deduplicates by canonical image edge set.
+#ifndef DSD_PATTERN_ISOMORPHISM_H_
+#define DSD_PATTERN_ISOMORPHISM_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+
+namespace dsd {
+
+/// Callback receiving an embedding: images[p] = data-graph vertex assigned to
+/// pattern vertex p.
+using EmbeddingCallback = std::function<void(std::span<const VertexId>)>;
+
+/// A group of pattern instances sharing the same vertex set (Algorithm 7's
+/// Lambda' groups; for cliques every group has multiplicity 1).
+struct InstanceGroup {
+  std::vector<VertexId> vertices;  // sorted
+  uint64_t multiplicity = 0;       // |g| = number of distinct edge sets
+};
+
+/// Enumerates embeddings of a pattern in a data graph, optionally restricted
+/// to an alive vertex mask.
+class EmbeddingEnumerator {
+ public:
+  EmbeddingEnumerator(const Graph& graph, const Pattern& pattern);
+
+  /// Invokes cb for every embedding using only alive vertices. An empty
+  /// `alive` span means every vertex is alive.
+  void EnumerateAll(std::span<const char> alive,
+                    const EmbeddingCallback& cb) const;
+
+  /// Invokes cb for every embedding whose image contains `v` (each embedding
+  /// exactly once), restricted to alive vertices; v itself need not be alive.
+  void EnumerateContaining(VertexId v, std::span<const char> alive,
+                           const EmbeddingCallback& cb) const;
+
+  /// mu(G, Psi) restricted to alive vertices: embeddings / |Aut|.
+  uint64_t CountInstances(std::span<const char> alive) const;
+
+  /// Pattern-degrees of all vertices restricted to alive vertices.
+  std::vector<uint64_t> Degrees(std::span<const char> alive) const;
+
+  /// Distinct instances grouped by vertex set (for construct+). Restricted
+  /// to alive vertices.
+  std::vector<InstanceGroup> Groups(std::span<const char> alive) const;
+
+  const Pattern& pattern() const { return pattern_; }
+
+ private:
+  // Search order starting from a given pattern vertex: every subsequent
+  // vertex is adjacent to at least one earlier vertex.
+  std::vector<int> SearchOrderFrom(int start) const;
+
+  void Backtrack(const std::vector<int>& order, size_t depth,
+                 std::vector<VertexId>& image, uint32_t used_pattern_mask,
+                 std::span<const char> alive, std::vector<char>& used_graph,
+                 const EmbeddingCallback& cb) const;
+
+  const Graph& graph_;
+  Pattern pattern_;
+  std::vector<int> default_order_;
+};
+
+}  // namespace dsd
+
+#endif  // DSD_PATTERN_ISOMORPHISM_H_

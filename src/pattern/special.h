@@ -1,0 +1,57 @@
+// Specialised pattern-degree kernels (appendix D of the paper).
+//
+// For star and loop (4-cycle "diamond") patterns the generic embedding
+// enumerator is overkill: pattern-degrees have closed forms over 1- and 2-hop
+// neighborhoods, reducing core decomposition from O(n d^x) to O(n d^2).
+// These kernels are cross-checked against the generic engine in tests.
+#ifndef DSD_PATTERN_SPECIAL_H_
+#define DSD_PATTERN_SPECIAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dsd {
+
+/// Pattern-degrees for the x-star K_{1,x} restricted to alive vertices
+/// (empty alive = all alive). Appendix D.1:
+///   deg(v) = C(deg(v), x) + sum over neighbors u of C(deg(u) - 1, x - 1).
+std::vector<uint64_t> StarDegrees(const Graph& graph, int x,
+                                  std::span<const char> alive);
+
+/// Number of x-star instances restricted to alive vertices:
+/// each instance has a unique center, so mu = sum_v C(deg(v), x).
+uint64_t StarCount(const Graph& graph, int x, std::span<const char> alive);
+
+/// Pattern-degrees for the 4-cycle restricted to alive vertices.
+/// Appendix D.2: group the 2-paths leaving v by endpoint w; every pair of
+/// distinct paths to the same w closes a 4-cycle, so
+///   deg(v) = sum over 2-hop endpoints w of C(#paths(v, w), 2).
+std::vector<uint64_t> FourCycleDegrees(const Graph& graph,
+                                       std::span<const char> alive);
+
+/// Number of 4-cycle instances restricted to alive vertices
+/// (= sum of degrees / 4: each cycle contains 4 vertices).
+uint64_t FourCycleCount(const Graph& graph, std::span<const char> alive);
+
+/// Appendix D.1.2, star peeling: reports how many x-star instances each
+/// other vertex loses when `v` is removed from the alive set, via the
+/// closed forms over v's 1- and 2-hop neighborhood (O(d^2) instead of
+/// enumerating embeddings). Returns the total number of destroyed
+/// instances. `cb(u, count)` may fire several times per u.
+uint64_t StarPeelVertex(const Graph& graph, int x, VertexId v,
+                        std::span<const char> alive,
+                        const std::function<void(VertexId, uint64_t)>& cb);
+
+/// Appendix D.2.2, loop (4-cycle) peeling: same contract as StarPeelVertex
+/// for the diamond pattern, via 2-path group bookkeeping (O(d^2)).
+uint64_t FourCyclePeelVertex(
+    const Graph& graph, VertexId v, std::span<const char> alive,
+    const std::function<void(VertexId, uint64_t)>& cb);
+
+}  // namespace dsd
+
+#endif  // DSD_PATTERN_SPECIAL_H_

@@ -1,0 +1,46 @@
+#include "util/combinatorics.h"
+
+#include <limits>
+
+namespace dsd {
+
+namespace {
+constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+
+// Multiplies a*b, saturating at UINT64_MAX.
+uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a != 0 && b > kMax / a) return kMax;
+  return a * b;
+}
+}  // namespace
+
+uint64_t Binomial(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  uint64_t result = 1;
+  for (uint64_t i = 1; i <= k; ++i) {
+    // result * (n - k + i) / i is always integral when evaluated in this
+    // order, but the intermediate product may overflow; split via gcd-free
+    // exact division: result is C(n-k+i-1, i-1), multiply then divide.
+    uint64_t numerator = n - k + i;
+    if (result > kMax / numerator) {
+      // Saturate: the true value exceeds UINT64_MAX / i >= UINT64_MAX when
+      // divided, so treat as overflow.
+      uint64_t q = result / i;
+      uint64_t r = result % i;
+      uint64_t part = SatMul(q, numerator);
+      uint64_t rest = SatMul(r, numerator) / i;
+      if (part > kMax - rest) return kMax;
+      result = part + rest;
+    } else {
+      result = result * numerator / i;
+    }
+  }
+  return result;
+}
+
+bool BinomialOverflows(uint64_t n, uint64_t k) {
+  return Binomial(n, k) == kMax;
+}
+
+}  // namespace dsd

@@ -1,0 +1,21 @@
+// Small combinatorial helpers shared across the library.
+#ifndef DSD_UTIL_COMBINATORICS_H_
+#define DSD_UTIL_COMBINATORICS_H_
+
+#include <cstdint>
+
+namespace dsd {
+
+/// Binomial coefficient C(n, k), saturating at UINT64_MAX on overflow.
+///
+/// Clique-degree upper bounds (CoreApp's gamma, Lemma 6 worst cases) routinely
+/// evaluate C(degree, h-1) for large degrees; saturation keeps those bounds
+/// valid without undefined behaviour.
+uint64_t Binomial(uint64_t n, uint64_t k);
+
+/// Returns true iff C(n, k) would exceed UINT64_MAX.
+bool BinomialOverflows(uint64_t n, uint64_t k);
+
+}  // namespace dsd
+
+#endif  // DSD_UTIL_COMBINATORICS_H_

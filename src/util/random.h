@@ -1,0 +1,36 @@
+// Deterministic, seedable PRNG used by the graph generators and tests.
+//
+// We avoid std::mt19937 + distribution objects because their output is not
+// specified identically across standard library implementations; benchmark
+// datasets must be bit-reproducible everywhere.
+#ifndef DSD_UTIL_RANDOM_H_
+#define DSD_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace dsd {
+
+/// xoshiro256** with SplitMix64 seeding. Fast, high quality, reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit word.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool NextBernoulli(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace dsd
+
+#endif  // DSD_UTIL_RANDOM_H_

@@ -1,0 +1,101 @@
+// Minimal Status/StatusOr error-handling vocabulary (RocksDB-style).
+//
+// The library proper never throws; fallible operations (notably graph I/O)
+// return Status or StatusOr<T> so embedders can handle corrupt inputs
+// gracefully.
+#ifndef DSD_UTIL_STATUS_H_
+#define DSD_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dsd {
+
+/// Result of a fallible operation: OK or an error with a message.
+class Status {
+ public:
+  /// Success value.
+  static Status Ok() { return Status(); }
+
+  /// Invalid input supplied by the caller (malformed file, bad argument).
+  static Status InvalidArgument(std::string message) {
+    return Status(Code::kInvalidArgument, std::move(message));
+  }
+
+  /// Environment failure (file missing, unreadable).
+  static Status IoError(std::string message) {
+    return Status(Code::kIoError, std::move(message));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+
+  /// Human-readable description; empty for OK.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<kind>: <message>", for logs and test failures.
+  std::string ToString() const {
+    switch (code_) {
+      case Code::kOk:
+        return "OK";
+      case Code::kInvalidArgument:
+        return "InvalidArgument: " + message_;
+      case Code::kIoError:
+        return "IoError: " + message_;
+    }
+    return "Unknown";
+  }
+
+ private:
+  enum class Code { kOk, kInvalidArgument, kIoError };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Mirrors absl::StatusOr's core API.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value: success.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::Ok()), value_(std::move(value)) {}
+
+  /// Implicit from a non-OK status: failure. Asserts the status is not OK.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value; asserts ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dsd
+
+#endif  // DSD_UTIL_STATUS_H_

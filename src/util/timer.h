@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the experiment harness and algorithm
+// instrumentation (Table 3 decomposition-time percentages, Figures 8-16).
+#ifndef DSD_UTIL_TIMER_H_
+#define DSD_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace dsd {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer();
+
+  /// Restarts the stopwatch.
+  void Reset();
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const;
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dsd
+
+#endif  // DSD_UTIL_TIMER_H_

@@ -1,0 +1,158 @@
+// Tests for the approximation algorithms: PeelApp, IncApp, CoreApp.
+// Guarantees (Lemma 8, Lemma 10), exact equality of the three (kmax, Psi)-core
+// routes, and paper-stated relationships.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dsd/core_app.h"
+#include "dsd/core_exact.h"
+#include "dsd/inc_app.h"
+#include "dsd/peel_app.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace dsd {
+namespace {
+
+TEST(PeelApp, FindsPlantedClique) {
+  Graph g = gen::PlantedClique(100, 0.03, 12, 3);
+  DensestResult r = PeelApp(g, CliqueOracle(2));
+  // K12 has edge density 5.5; PeelApp must reach at least half the optimum,
+  // and in practice lands on the clique itself.
+  EXPECT_GE(r.density, 5.5 / 2);
+  EXPECT_GE(r.vertices.size(), 12u);
+}
+
+TEST(PeelApp, ApproximationGuarantee) {
+  for (int seed = 0; seed < 10; ++seed) {
+    Graph g = gen::ErdosRenyi(40, 0.2, seed);
+    for (int h = 2; h <= 4; ++h) {
+      CliqueOracle oracle(h);
+      DensestResult opt = CoreExact(g, oracle);
+      DensestResult peel = PeelApp(g, oracle);
+      EXPECT_GE(peel.density + 1e-9, opt.density / h)
+          << "seed " << seed << " h " << h;
+      EXPECT_LE(peel.density, opt.density + 1e-9);
+    }
+  }
+}
+
+TEST(PeelApp, PatternGuarantee) {
+  for (int seed = 0; seed < 5; ++seed) {
+    Graph g = gen::ErdosRenyi(16, 0.35, seed);
+    for (const Pattern& p : {Pattern::Diamond(), Pattern::TwoStar()}) {
+      PatternOracle oracle(p);
+      DensestResult opt = CorePExact(g, oracle);
+      DensestResult peel = PeelApp(g, oracle);
+      EXPECT_GE(peel.density + 1e-9, opt.density / p.size())
+          << p.name() << " seed " << seed;
+    }
+  }
+}
+
+TEST(IncApp, ReturnsKmaxCore) {
+  Graph g = gen::PlantedClique(80, 0.05, 10, 7);
+  CliqueOracle tri(3);
+  DensestResult r = IncApp(g, tri);
+  EXPECT_GT(r.stats.kmax, 0u);
+  // Theorem 1 lower bound: rho(R_kmax) >= kmax / |V_Psi|.
+  EXPECT_GE(r.density + 1e-9, static_cast<double>(r.stats.kmax) / 3.0);
+}
+
+TEST(IncApp, EmptyWhenNoInstances) {
+  GraphBuilder star;
+  for (VertexId v = 1; v <= 4; ++v) star.AddEdge(0, v);
+  DensestResult r = IncApp(star.Build(), CliqueOracle(3));
+  EXPECT_TRUE(r.vertices.empty());
+  EXPECT_EQ(r.stats.kmax, 0u);
+}
+
+class KmaxCoreRouteTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+// IncApp and CoreApp must return the identical (kmax, Psi)-core.
+TEST_P(KmaxCoreRouteTest, IncAppEqualsCoreApp) {
+  auto [seed, h] = GetParam();
+  Graph g = gen::ErdosRenyi(50, 0.15, seed);
+  CliqueOracle oracle(h);
+  DensestResult inc = IncApp(g, oracle);
+  DensestResult core = CoreApp(g, oracle);
+  EXPECT_EQ(inc.stats.kmax, core.stats.kmax);
+  EXPECT_EQ(inc.vertices, core.vertices);
+  EXPECT_EQ(inc.instances, core.instances);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KmaxCoreRouteTest,
+                         ::testing::Combine(::testing::Range(0, 8),
+                                            ::testing::Range(2, 5)));
+
+TEST(CoreApp, SmallInitialWindowStillCorrect) {
+  Graph g = gen::PlantedClique(70, 0.05, 9, 11);
+  CliqueOracle tri(3);
+  CoreAppOptions options;
+  options.initial_window = 1;  // worst case: doubles all the way up
+  DensestResult tiny = CoreApp(g, tri, options);
+  DensestResult inc = IncApp(g, tri);
+  EXPECT_EQ(tiny.vertices, inc.vertices);
+}
+
+TEST(CoreApp, WindowLargerThanGraph) {
+  Graph g = gen::ErdosRenyi(20, 0.3, 13);
+  CoreAppOptions options;
+  options.initial_window = 10000;
+  DensestResult r = CoreApp(g, CliqueOracle(2), options);
+  EXPECT_EQ(r.vertices, IncApp(g, CliqueOracle(2)).vertices);
+}
+
+TEST(CoreApp, PatternOracleRoute) {
+  for (int seed = 0; seed < 4; ++seed) {
+    Graph g = gen::ErdosRenyi(22, 0.3, seed);
+    for (const Pattern& p : {Pattern::Diamond(), Pattern::TwoStar()}) {
+      PatternOracle oracle(p);
+      DensestResult inc = IncApp(g, oracle);
+      DensestResult core = CoreApp(g, oracle);
+      EXPECT_EQ(inc.vertices, core.vertices) << p.name() << " seed " << seed;
+    }
+  }
+}
+
+TEST(CoreApp, ApproximationGuarantee) {
+  for (int seed = 0; seed < 6; ++seed) {
+    Graph g = gen::ErdosRenyi(35, 0.25, seed);
+    for (int h = 2; h <= 3; ++h) {
+      CliqueOracle oracle(h);
+      DensestResult opt = CoreExact(g, oracle);
+      DensestResult approx = CoreApp(g, oracle);
+      EXPECT_GE(approx.density + 1e-9, opt.density / h)
+          << "seed " << seed << " h " << h;
+    }
+  }
+}
+
+TEST(ApproxAlgorithms, KmaxAgreesAcrossAllRoutes) {
+  Graph g = gen::BarabasiAlbert(150, 4, 17);
+  for (int h = 2; h <= 3; ++h) {
+    CliqueOracle oracle(h);
+    uint32_t k1 = PeelApp(g, oracle).stats.kmax;
+    uint32_t k2 = IncApp(g, oracle).stats.kmax;
+    uint32_t k3 = CoreApp(g, oracle).stats.kmax;
+    EXPECT_EQ(k1, k2) << h;
+    EXPECT_EQ(k2, k3) << h;
+  }
+}
+
+TEST(ApproxAlgorithms, PeelAppAtLeastAsDenseAsKmaxCore) {
+  // PeelApp scans every residual graph, one of which is the (kmax, Psi)-core,
+  // so its answer can only be denser or equal.
+  for (int seed = 0; seed < 6; ++seed) {
+    Graph g = gen::ErdosRenyi(40, 0.2, seed + 60);
+    CliqueOracle tri(3);
+    DensestResult peel = PeelApp(g, tri);
+    DensestResult inc = IncApp(g, tri);
+    EXPECT_GE(peel.density + 1e-9, inc.density) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dsd

@@ -1,0 +1,117 @@
+// Tests for the competitor implementations: Nucleus (AND h-index iteration)
+// and EMcore (top-down kmax-core), plus brute force sanity.
+#include <gtest/gtest.h>
+
+#include "core/emcore.h"
+#include "core/kcore.h"
+#include "core/nucleus.h"
+#include "dsd/brute_force.h"
+#include "dsd/motif_core.h"
+#include "dsd/motif_oracle.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace dsd {
+namespace {
+
+class NucleusTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+// The AND h-index iteration must converge exactly to the clique-core numbers
+// computed by peeling (Algorithm 3).
+TEST_P(NucleusTest, MatchesPeelingDecomposition) {
+  auto [seed, h] = GetParam();
+  Graph g = gen::ErdosRenyi(40, 0.2, seed);
+  NucleusDecomposition nucleus = NucleusCliqueCores(g, h);
+  MotifCoreDecomposition peel = MotifCoreDecompose(g, CliqueOracle(h));
+  ASSERT_EQ(nucleus.core.size(), peel.core.size());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(nucleus.core[v], peel.core[v]) << "v=" << v << " h=" << h;
+  }
+  EXPECT_EQ(nucleus.kmax, peel.kmax);
+  EXPECT_EQ(nucleus.CoreVertices(nucleus.kmax),
+            peel.CoreVertices(peel.kmax));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NucleusTest,
+                         ::testing::Combine(::testing::Range(0, 8),
+                                            ::testing::Range(2, 5)));
+
+TEST(Nucleus, EdgeCliquesMatchClassicCore) {
+  Graph g = gen::BarabasiAlbert(120, 3, 5);
+  NucleusDecomposition nucleus = NucleusCliqueCores(g, 2);
+  CoreDecomposition classic = KCoreDecomposition(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(nucleus.core[v], classic.core[v]);
+  }
+}
+
+TEST(Nucleus, ConvergesInFewIterations) {
+  Graph g = gen::ErdosRenyi(60, 0.15, 9);
+  NucleusDecomposition nucleus = NucleusCliqueCores(g, 3);
+  EXPECT_GE(nucleus.iterations, 1u);
+  EXPECT_LT(nucleus.iterations, 60u);  // far below worst case
+}
+
+TEST(Nucleus, EmptyAndInstanceFree) {
+  EXPECT_EQ(NucleusCliqueCores(Graph(), 3).kmax, 0u);
+  GraphBuilder star;
+  for (VertexId v = 1; v <= 5; ++v) star.AddEdge(0, v);
+  NucleusDecomposition d = NucleusCliqueCores(star.Build(), 3);
+  EXPECT_EQ(d.kmax, 0u);
+}
+
+class EmcoreTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EmcoreTest, FindsExactKmaxCore) {
+  Graph g = gen::BarabasiAlbert(200, 3, GetParam());
+  EmcoreResult em = EmcoreTopDown(g);
+  CoreDecomposition classic = KCoreDecomposition(g);
+  EXPECT_EQ(em.kmax, classic.kmax);
+  EXPECT_EQ(em.core_vertices, classic.CoreVertices(classic.kmax));
+}
+
+TEST_P(EmcoreTest, FindsExactKmaxCoreOnErdosRenyi) {
+  // ER is EMcore's worst case (flat degrees): the doubling must still land
+  // on the right answer even when every block is inconclusive.
+  Graph g = gen::ErdosRenyi(150, 0.06, GetParam() + 40);
+  EmcoreResult em = EmcoreTopDown(g);
+  CoreDecomposition classic = KCoreDecomposition(g);
+  EXPECT_EQ(em.kmax, classic.kmax);
+  EXPECT_EQ(em.core_vertices, classic.CoreVertices(classic.kmax));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmcoreTest, ::testing::Range(0, 10));
+
+TEST(Emcore, EmptyGraph) {
+  EmcoreResult em = EmcoreTopDown(Graph());
+  EXPECT_EQ(em.kmax, 0u);
+  EXPECT_TRUE(em.core_vertices.empty());
+}
+
+TEST(Emcore, ExaminesFewBlocksOnSkewedGraphs) {
+  // On hub-heavy graphs the kmax-core hides among high-degree vertices, so
+  // the top-down search should stop well before scanning everything.
+  Graph g = gen::PlantedClique(2000, 0.002, 25, 3);
+  EmcoreResult em = EmcoreTopDown(g);
+  EXPECT_EQ(em.kmax, 24u);
+  EXPECT_LE(em.blocks_examined, 4u);
+}
+
+TEST(BruteForce, KnownTinyAnswers) {
+  // Triangle + pendant: both the triangle (3/3) and the whole graph (4/4)
+  // attain edge density 1.0; the brute force prefers the larger witness.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  Graph g = b.Build();
+  DensestResult edge = BruteForceDensest(g, CliqueOracle(2));
+  EXPECT_EQ(edge.vertices, (std::vector<VertexId>{0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(edge.density, 1.0);
+  DensestResult tri = BruteForceDensest(g, CliqueOracle(3));
+  EXPECT_DOUBLE_EQ(tri.density, 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace dsd

@@ -1,0 +1,200 @@
+// Tests for clique/: enumeration counts, degrees, alive-restricted queries,
+// cross-checked against naive combination scanning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "clique/clique_degree.h"
+#include "clique/clique_enumerator.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/combinatorics.h"
+
+namespace dsd {
+namespace {
+
+// Naive h-clique count by scanning all C(n, h) subsets.
+uint64_t NaiveCliqueCount(const Graph& g, int h) {
+  const VertexId n = g.NumVertices();
+  uint64_t count = 0;
+  std::vector<VertexId> pick(h);
+  std::function<void(int, VertexId)> rec = [&](int depth, VertexId start) {
+    if (depth == h) {
+      for (int i = 0; i < h; ++i) {
+        for (int j = i + 1; j < h; ++j) {
+          if (!g.HasEdge(pick[i], pick[j])) return;
+        }
+      }
+      ++count;
+      return;
+    }
+    for (VertexId v = start; v < n; ++v) {
+      pick[depth] = v;
+      rec(depth + 1, v + 1);
+    }
+  };
+  rec(0, 0);
+  return count;
+}
+
+TEST(CliqueEnumerator, EdgesAreTwoCliques) {
+  Graph g = gen::ErdosRenyi(60, 0.1, 3);
+  EXPECT_EQ(CliqueEnumerator(g, 2).Count(), g.NumEdges());
+}
+
+TEST(CliqueEnumerator, CompleteGraphCounts) {
+  GraphBuilder b;
+  const int n = 8;
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) b.AddEdge(u, v);
+  Graph g = b.Build();
+  for (int h = 2; h <= 6; ++h) {
+    EXPECT_EQ(CliqueEnumerator(g, h).Count(), Binomial(n, h)) << h;
+  }
+}
+
+TEST(CliqueEnumerator, TriangleFreeGraph) {
+  // Bipartite graphs have no triangles.
+  GraphBuilder b;
+  for (VertexId u = 0; u < 5; ++u)
+    for (VertexId v = 5; v < 10; ++v) b.AddEdge(u, v);
+  Graph g = b.Build();
+  EXPECT_EQ(CliqueEnumerator(g, 3).Count(), 0u);
+  EXPECT_EQ(CliqueEnumerator(g, 4).Count(), 0u);
+}
+
+TEST(CliqueEnumerator, EachInstanceOnceAndValid) {
+  Graph g = gen::ErdosRenyi(40, 0.25, 5);
+  std::set<std::vector<VertexId>> seen;
+  CliqueEnumerator enumerator(g, 3);
+  enumerator.Enumerate([&](std::span<const VertexId> c) {
+    std::vector<VertexId> sorted(c.begin(), c.end());
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(seen.insert(sorted).second) << "duplicate instance";
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      for (size_t j = i + 1; j < sorted.size(); ++j) {
+        EXPECT_TRUE(g.HasEdge(sorted[i], sorted[j]));
+      }
+    }
+  });
+  EXPECT_EQ(seen.size(), NaiveCliqueCount(g, 3));
+}
+
+TEST(CliqueEnumerator, DegreesSumToHTimesCount) {
+  Graph g = gen::ErdosRenyi(50, 0.2, 7);
+  for (int h = 2; h <= 5; ++h) {
+    CliqueEnumerator enumerator(g, h);
+    auto degrees = enumerator.Degrees();
+    uint64_t sum = 0;
+    for (uint64_t d : degrees) sum += d;
+    EXPECT_EQ(sum, static_cast<uint64_t>(h) * enumerator.Count()) << h;
+  }
+}
+
+TEST(CliqueEnumerator, PaperFigure1Example) {
+  // Figure 2(a): path A-B plus triangle-ish B,C,D: edges AB, BC, BD, CD.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  Graph g = b.Build();
+  CliqueEnumerator triangles(g, 3);
+  EXPECT_EQ(triangles.Count(), 1u);
+  auto degrees = triangles.Degrees();
+  EXPECT_EQ(degrees[0], 0u);  // A
+  EXPECT_EQ(degrees[1], 1u);  // B
+  EXPECT_EQ(degrees[2], 1u);  // C
+  EXPECT_EQ(degrees[3], 1u);  // D
+}
+
+class CliqueCountRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CliqueCountRandomTest, MatchesNaive) {
+  auto [seed, h] = GetParam();
+  Graph g = gen::ErdosRenyi(30, 0.3, seed);
+  EXPECT_EQ(CliqueEnumerator(g, h).Count(), NaiveCliqueCount(g, h));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CliqueCountRandomTest,
+                         ::testing::Combine(::testing::Range(0, 8),
+                                            ::testing::Range(2, 7)));
+
+TEST(CliqueDegreeWithin, AliveMaskRestricts) {
+  // Two triangles sharing vertex 0: {0,1,2} and {0,3,4}.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(0, 4);
+  b.AddEdge(3, 4);
+  Graph g = b.Build();
+  std::vector<char> alive(5, 1);
+  auto all = CliqueDegreesWithin(g, 3, alive);
+  EXPECT_EQ(all[0], 2u);
+  alive[1] = 0;  // kill one triangle
+  auto rest = CliqueDegreesWithin(g, 3, alive);
+  EXPECT_EQ(rest[0], 1u);
+  EXPECT_EQ(rest[1], 0u);
+  EXPECT_EQ(rest[3], 1u);
+}
+
+TEST(EnumerateCliquesContaining, ReportsCompanions) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 3);
+  Graph g = b.Build();
+  std::vector<char> alive(4, 1);
+  std::set<std::vector<VertexId>> rests;
+  EnumerateCliquesContaining(g, 3, 0, alive,
+                             [&](std::span<const VertexId> rest) {
+                               std::vector<VertexId> r(rest.begin(), rest.end());
+                               std::sort(r.begin(), r.end());
+                               rests.insert(r);
+                             });
+  EXPECT_EQ(rests.size(), 1u);
+  EXPECT_TRUE(rests.count({1, 2}));
+}
+
+TEST(EnumerateCliquesContaining, EdgeCase) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  Graph g = b.Build();
+  std::vector<char> alive(3, 1);
+  int count = 0;
+  EnumerateCliquesContaining(g, 2, 0, alive,
+                             [&](std::span<const VertexId>) { ++count; });
+  EXPECT_EQ(count, 2);
+  alive[2] = 0;
+  count = 0;
+  EnumerateCliquesContaining(g, 2, 0, alive,
+                             [&](std::span<const VertexId>) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EnumerateCliquesContaining, RespectsAliveForLargerCliques) {
+  // K5: removing vertices from alive shrinks the 4-cliques through v.
+  GraphBuilder b;
+  for (VertexId u = 0; u < 5; ++u)
+    for (VertexId v = u + 1; v < 5; ++v) b.AddEdge(u, v);
+  Graph g = b.Build();
+  std::vector<char> alive(5, 1);
+  int count = 0;
+  EnumerateCliquesContaining(g, 4, 0, alive,
+                             [&](std::span<const VertexId>) { ++count; });
+  EXPECT_EQ(count, 4);  // choose 3 companions among {1,2,3,4}: C(4,3)
+  alive[4] = 0;
+  count = 0;
+  EnumerateCliquesContaining(g, 4, 0, alive,
+                             [&](std::span<const VertexId>) { ++count; });
+  EXPECT_EQ(count, 1);  // only {1,2,3} remains: C(3,3)
+}
+
+}  // namespace
+}  // namespace dsd

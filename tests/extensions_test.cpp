@@ -1,0 +1,125 @@
+// Tests for dsd/extensions: size-constrained densest subgraph and the
+// Bahmani-style streaming approximation.
+#include <gtest/gtest.h>
+
+#include "dsd/brute_force.h"
+#include "dsd/core_exact.h"
+#include "dsd/extensions.h"
+#include "dsd/measure.h"
+#include "dsd/peel_app.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace dsd {
+namespace {
+
+// Brute-force densest subgraph among subsets of size >= min_size.
+double BruteForceAtLeast(const Graph& g, const MotifOracle& oracle,
+                         VertexId min_size) {
+  const VertexId n = g.NumVertices();
+  double best = 0.0;
+  std::vector<VertexId> subset;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    subset.clear();
+    for (VertexId v = 0; v < n; ++v) {
+      if ((mask >> v) & 1u) subset.push_back(v);
+    }
+    if (subset.size() < min_size) continue;
+    best = std::max(best, MeasureDensity(g, oracle, subset));
+  }
+  return best;
+}
+
+TEST(DensestAtLeast, SizeOneEqualsPeelApp) {
+  Graph g = gen::ErdosRenyi(40, 0.2, 3);
+  CliqueOracle edge(2);
+  DensestResult constrained = DensestAtLeast(g, edge, 1);
+  DensestResult peel = PeelApp(g, edge);
+  EXPECT_NEAR(constrained.density, peel.density, 1e-12);
+}
+
+TEST(DensestAtLeast, RespectsSizeConstraint) {
+  Graph g = gen::PlantedClique(80, 0.04, 8, 5);
+  CliqueOracle edge(2);
+  for (VertexId k : {10u, 20u, 40u, 79u}) {
+    DensestResult r = DensestAtLeast(g, edge, k);
+    EXPECT_GE(r.vertices.size(), k) << "k=" << k;
+  }
+}
+
+TEST(DensestAtLeast, DensityDecreasesWithSize) {
+  Graph g = gen::PlantedClique(80, 0.04, 8, 7);
+  CliqueOracle edge(2);
+  double previous = 1e18;
+  for (VertexId k : {1u, 10u, 30u, 60u}) {
+    DensestResult r = DensestAtLeast(g, edge, k);
+    EXPECT_LE(r.density, previous + 1e-9) << "k=" << k;
+    previous = r.density;
+  }
+}
+
+TEST(DensestAtLeast, GraphSmallerThanConstraint) {
+  Graph g = gen::ErdosRenyi(10, 0.3, 9);
+  CliqueOracle edge(2);
+  DensestResult r = DensestAtLeast(g, edge, 50);
+  EXPECT_EQ(r.vertices.size(), g.NumVertices());
+}
+
+class AtLeastRatioTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AtLeastRatioTest, WithinOneThirdOfBruteForce) {
+  // Andersen-Chellapilla: greedy residual scan is a 1/3-approximation for
+  // edge density under a lower size bound.
+  Graph g = gen::ErdosRenyi(13, 0.35, GetParam());
+  CliqueOracle edge(2);
+  for (VertexId k : {3u, 6u, 9u}) {
+    double opt = BruteForceAtLeast(g, edge, k);
+    DensestResult greedy = DensestAtLeast(g, edge, k);
+    if (opt == 0.0) continue;
+    EXPECT_GE(greedy.density + 1e-9, opt / 3.0)
+        << "seed " << GetParam() << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AtLeastRatioTest, ::testing::Range(0, 12));
+
+TEST(StreamApp, GuaranteeHolds) {
+  for (int seed = 0; seed < 8; ++seed) {
+    Graph g = gen::ErdosRenyi(35, 0.25, seed);
+    for (int h = 2; h <= 3; ++h) {
+      CliqueOracle oracle(h);
+      DensestResult opt = CoreExact(g, oracle);
+      for (double eps : {0.05, 0.5, 2.0}) {
+        DensestResult stream = StreamApp(g, oracle, eps);
+        EXPECT_GE(stream.density + 1e-9, opt.density / ((1 + eps) * h))
+            << "seed " << seed << " h " << h << " eps " << eps;
+      }
+    }
+  }
+}
+
+TEST(StreamApp, FewPasses) {
+  Graph g = gen::BarabasiAlbert(2000, 3, 11);
+  DensestResult r = StreamApp(g, CliqueOracle(2), 0.25);
+  // O(log n / eps) passes; log2(2000) ~ 11, so a loose cap suffices.
+  EXPECT_LE(r.stats.binary_search_iterations, 80);
+  EXPECT_GT(r.density, 0.0);
+}
+
+TEST(StreamApp, NoInstances) {
+  GraphBuilder star;
+  for (VertexId v = 1; v <= 5; ++v) star.AddEdge(0, v);
+  DensestResult r = StreamApp(star.Build(), CliqueOracle(3), 0.1);
+  EXPECT_EQ(r.density, 0.0);
+}
+
+TEST(StreamApp, PatternOracleWorks) {
+  Graph g = gen::ErdosRenyi(25, 0.3, 13);
+  PatternOracle diamond(Pattern::Diamond());
+  DensestResult opt = CorePExact(g, diamond);
+  DensestResult stream = StreamApp(g, diamond, 0.2);
+  EXPECT_GE(stream.density + 1e-9, opt.density / (1.2 * 4));
+}
+
+}  // namespace
+}  // namespace dsd

@@ -1,0 +1,166 @@
+// Tests for flow/max_flow: classic instances, min-cut extraction,
+// capacity retuning, and a randomized cross-check against augmenting paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "flow/max_flow.h"
+#include "util/random.h"
+
+namespace dsd {
+namespace {
+
+TEST(MaxFlow, SingleEdge) {
+  MaxFlowNetwork net(2);
+  net.AddArc(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 1), 5.0);
+}
+
+TEST(MaxFlow, SeriesTakesMinimum) {
+  MaxFlowNetwork net(3);
+  net.AddArc(0, 1, 5.0);
+  net.AddArc(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 2), 3.0);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  MaxFlowNetwork net(4);
+  net.AddArc(0, 1, 2.0);
+  net.AddArc(1, 3, 2.0);
+  net.AddArc(0, 2, 3.0);
+  net.AddArc(2, 3, 3.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 3), 5.0);
+}
+
+TEST(MaxFlow, ClassicCLRSExample) {
+  // CLRS figure 26.1: max flow 23.
+  MaxFlowNetwork net(6);
+  net.AddArc(0, 1, 16);
+  net.AddArc(0, 2, 13);
+  net.AddArc(1, 2, 10);
+  net.AddArc(2, 1, 4);
+  net.AddArc(1, 3, 12);
+  net.AddArc(3, 2, 9);
+  net.AddArc(2, 4, 14);
+  net.AddArc(4, 3, 7);
+  net.AddArc(3, 5, 20);
+  net.AddArc(4, 5, 4);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 5), 23.0);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlowNetwork net(4);
+  net.AddArc(0, 1, 10);
+  net.AddArc(2, 3, 10);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 3), 0.0);
+  auto side = net.MinCutSourceSide(0);
+  EXPECT_EQ(side, (std::vector<MaxFlowNetwork::NodeId>{0, 1}));
+}
+
+TEST(MaxFlow, InfiniteCapacityArcNeverCut) {
+  MaxFlowNetwork net(3);
+  net.AddArc(0, 1, MaxFlowNetwork::kInfinity);
+  net.AddArc(1, 2, 7.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 2), 7.0);
+  auto side = net.MinCutSourceSide(0);
+  // Cut must be the 1->2 arc: both 0 and 1 on the source side.
+  EXPECT_EQ(side, (std::vector<MaxFlowNetwork::NodeId>{0, 1}));
+}
+
+TEST(MaxFlow, MinCutSeparatesSAndT) {
+  MaxFlowNetwork net(5);
+  net.AddArc(0, 1, 1);
+  net.AddArc(1, 2, 1);
+  net.AddArc(2, 3, 1);
+  net.AddArc(3, 4, 1);
+  net.MaxFlow(0, 4);
+  auto side = net.MinCutSourceSide(0);
+  EXPECT_TRUE(std::find(side.begin(), side.end(), 0u) != side.end());
+  EXPECT_TRUE(std::find(side.begin(), side.end(), 4u) == side.end());
+}
+
+TEST(MaxFlow, SetCapacityRetunes) {
+  MaxFlowNetwork net(2);
+  auto arc = net.AddArc(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 1), 1.0);
+  net.SetCapacity(arc, 9.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 1), 9.0);
+  net.SetCapacity(arc, 0.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 1), 0.0);
+}
+
+TEST(MaxFlow, RepeatSolvesAreIdempotent) {
+  MaxFlowNetwork net(4);
+  net.AddArc(0, 1, 2);
+  net.AddArc(0, 2, 2);
+  net.AddArc(1, 3, 1);
+  net.AddArc(2, 3, 3);
+  double first = net.MaxFlow(0, 3);
+  double second = net.MaxFlow(0, 3);
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+TEST(MaxFlow, FractionalCapacities) {
+  MaxFlowNetwork net(3);
+  net.AddArc(0, 1, 0.25);
+  net.AddArc(0, 1, 0.5);
+  net.AddArc(1, 2, 0.6);
+  EXPECT_NEAR(net.MaxFlow(0, 2), 0.6, 1e-12);
+}
+
+// Reference: simple Ford-Fulkerson (BFS augmenting paths) on an adjacency
+// matrix, for randomized cross-checks.
+double ReferenceMaxFlow(std::vector<std::vector<double>> cap, int s, int t) {
+  const int n = static_cast<int>(cap.size());
+  double flow = 0;
+  while (true) {
+    std::vector<int> parent(n, -1);
+    parent[s] = s;
+    std::vector<int> queue = {s};
+    for (size_t qi = 0; qi < queue.size() && parent[t] == -1; ++qi) {
+      int v = queue[qi];
+      for (int w = 0; w < n; ++w) {
+        if (parent[w] == -1 && cap[v][w] > 1e-9) {
+          parent[w] = v;
+          queue.push_back(w);
+        }
+      }
+    }
+    if (parent[t] == -1) break;
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (int v = t; v != s; v = parent[v]) {
+      bottleneck = std::min(bottleneck, cap[parent[v]][v]);
+    }
+    for (int v = t; v != s; v = parent[v]) {
+      cap[parent[v]][v] -= bottleneck;
+      cap[v][parent[v]] += bottleneck;
+    }
+    flow += bottleneck;
+  }
+  return flow;
+}
+
+class MaxFlowRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxFlowRandomTest, MatchesReferenceImplementation) {
+  Rng rng(GetParam());
+  const int n = 2 + static_cast<int>(rng.NextBounded(10));
+  std::vector<std::vector<double>> cap(n, std::vector<double>(n, 0.0));
+  MaxFlowNetwork net(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u != v && rng.NextBernoulli(0.4)) {
+        double c = static_cast<double>(rng.NextBounded(10));
+        cap[u][v] += c;
+        net.AddArc(u, v, c);
+      }
+    }
+  }
+  EXPECT_NEAR(net.MaxFlow(0, n - 1), ReferenceMaxFlow(cap, 0, n - 1), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomNetworks, MaxFlowRandomTest,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace dsd

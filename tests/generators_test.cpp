@@ -1,0 +1,117 @@
+// Tests for graph/generators: determinism, simplicity, expected structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace dsd {
+namespace {
+
+void ExpectSimple(const Graph& g) {
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    auto nbrs = g.Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_NE(nbrs[i], v) << "self loop at " << v;
+      if (i > 0) {
+        EXPECT_LT(nbrs[i - 1], nbrs[i]) << "dup/unsorted at " << v;
+      }
+    }
+  }
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  Graph a = gen::ErdosRenyi(200, 0.05, 7);
+  Graph b = gen::ErdosRenyi(200, 0.05, 7);
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  const VertexId n = 500;
+  const double p = 0.02;
+  Graph g = gen::ErdosRenyi(n, p, 11);
+  const double expected = p * n * (n - 1) / 2;
+  EXPECT_NEAR(static_cast<double>(g.NumEdges()), expected, 4 * std::sqrt(expected));
+  ExpectSimple(g);
+}
+
+TEST(ErdosRenyi, ExtremeProbabilities) {
+  EXPECT_EQ(gen::ErdosRenyi(50, 0.0, 1).NumEdges(), 0u);
+  EXPECT_EQ(gen::ErdosRenyi(10, 1.0, 1).NumEdges(), 45u);
+  EXPECT_EQ(gen::ErdosRenyi(0, 0.5, 1).NumVertices(), 0u);
+  EXPECT_EQ(gen::ErdosRenyi(1, 0.5, 1).NumEdges(), 0u);
+}
+
+TEST(ErdosRenyi, DifferentSeedsDiffer) {
+  Graph a = gen::ErdosRenyi(100, 0.1, 1);
+  Graph b = gen::ErdosRenyi(100, 0.1, 2);
+  EXPECT_NE(a.Edges(), b.Edges());
+}
+
+TEST(Rmat, BasicShape) {
+  Graph g = gen::Rmat(1 << 10, 4000, 13);
+  EXPECT_EQ(g.NumVertices(), 1u << 10);
+  EXPECT_GT(g.NumEdges(), 2000u);   // some sampled duplicates are expected
+  EXPECT_LE(g.NumEdges(), 4000u);
+  ExpectSimple(g);
+}
+
+TEST(Rmat, Deterministic) {
+  EXPECT_EQ(gen::Rmat(256, 1000, 3).Edges(), gen::Rmat(256, 1000, 3).Edges());
+}
+
+TEST(Rmat, SkewedDegrees) {
+  // Power-law-ish: max degree far above average.
+  Graph g = gen::Rmat(1 << 12, 20000, 5);
+  double avg = 2.0 * static_cast<double>(g.NumEdges()) / g.NumVertices();
+  EXPECT_GT(static_cast<double>(g.MaxDegree()), 5 * avg);
+}
+
+TEST(Ssca, ContainsCliques) {
+  Graph g = gen::Ssca(500, 10, 0.2, 17);
+  EXPECT_EQ(g.NumVertices(), 500u);
+  ExpectSimple(g);
+  // The largest planted clique has ~10 vertices => some vertex has degree
+  // at least 9 inside its clique alone.
+  EXPECT_GE(g.MaxDegree(), 9u);
+}
+
+TEST(Ssca, Deterministic) {
+  EXPECT_EQ(gen::Ssca(300, 8, 0.1, 9).Edges(), gen::Ssca(300, 8, 0.1, 9).Edges());
+}
+
+TEST(BarabasiAlbert, DegreeSkewAndConnectivity) {
+  Graph g = gen::BarabasiAlbert(2000, 3, 23);
+  EXPECT_EQ(g.NumVertices(), 2000u);
+  ExpectSimple(g);
+  // Preferential attachment yields hubs.
+  double avg = 2.0 * static_cast<double>(g.NumEdges()) / g.NumVertices();
+  EXPECT_GT(static_cast<double>(g.MaxDegree()), 5 * avg);
+  // BA graphs are connected by construction.
+  EXPECT_EQ(ConnectedComponents(g).num_components, 1u);
+}
+
+TEST(BarabasiAlbert, EdgeBudget) {
+  Graph g = gen::BarabasiAlbert(1000, 4, 29);
+  // ~ m0 clique + 4 per subsequent vertex.
+  EXPECT_NEAR(static_cast<double>(g.NumEdges()), 4.0 * 1000, 400);
+}
+
+TEST(PowerLawWithCommunities, PlantsDenseBlocks) {
+  Graph base = gen::BarabasiAlbert(1000, 2, 31);
+  Graph g = gen::PowerLawWithCommunities(1000, 2, 5, 20, 0.9, 31);
+  EXPECT_GT(g.NumEdges(), base.NumEdges());
+  ExpectSimple(g);
+}
+
+TEST(PlantedClique, CliqueIsPresent) {
+  Graph g = gen::PlantedClique(300, 0.01, 20, 37);
+  ExpectSimple(g);
+  // Some vertex must touch all other 19 clique members.
+  EXPECT_GE(g.MaxDegree(), 19u);
+}
+
+}  // namespace
+}  // namespace dsd

@@ -1,0 +1,123 @@
+// Tests for core/kcore: Batagelj-Zaversnik decomposition, degeneracy order,
+// and a randomized cross-check against naive iterative peeling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/kcore.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace dsd {
+namespace {
+
+// Naive reference: repeatedly delete vertices of degree < k until stable,
+// for every k, to derive core numbers.
+std::vector<uint32_t> NaiveCoreNumbers(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  std::vector<uint32_t> core(n, 0);
+  for (uint32_t k = 1; k <= g.MaxDegree(); ++k) {
+    std::vector<char> alive(n, 1);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (VertexId v = 0; v < n; ++v) {
+        if (!alive[v]) continue;
+        uint32_t d = 0;
+        for (VertexId u : g.Neighbors(v)) d += alive[u];
+        if (d < k) {
+          alive[v] = 0;
+          changed = true;
+        }
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (alive[v]) core[v] = k;
+    }
+  }
+  return core;
+}
+
+TEST(KCore, PaperFigure3Example) {
+  // Figure 3(a): K4 on {A,B,C,D} + path B-E, E-F(-G-H triangle-ish tail).
+  // We rebuild the figure's 8-vertex graph: vertices A..H = 0..7.
+  GraphBuilder b;
+  // K4 on A,B,C,D.
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(1, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  // E attaches to C and D (2-core ring), F attaches to E.
+  b.AddEdge(2, 4);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  // Separate component: G-H edge.
+  b.AddEdge(6, 7);
+  Graph g = b.Build();
+  CoreDecomposition d = KCoreDecomposition(g);
+  EXPECT_EQ(d.kmax, 3u);
+  for (VertexId v : {0, 1, 2, 3}) EXPECT_EQ(d.core[v], 3u) << v;
+  EXPECT_EQ(d.core[4], 2u);
+  EXPECT_EQ(d.core[5], 1u);
+  EXPECT_EQ(d.core[6], 1u);
+  EXPECT_EQ(d.core[7], 1u);
+}
+
+TEST(KCore, EmptyAndSingleton) {
+  EXPECT_EQ(KCoreDecomposition(Graph()).kmax, 0u);
+  GraphBuilder b;
+  b.EnsureVertices(1);
+  CoreDecomposition d = KCoreDecomposition(b.Build());
+  EXPECT_EQ(d.kmax, 0u);
+  EXPECT_EQ(d.core[0], 0u);
+}
+
+TEST(KCore, CompleteGraph) {
+  GraphBuilder b;
+  for (VertexId u = 0; u < 6; ++u)
+    for (VertexId v = u + 1; v < 6; ++v) b.AddEdge(u, v);
+  CoreDecomposition d = KCoreDecomposition(b.Build());
+  EXPECT_EQ(d.kmax, 5u);
+  for (uint32_t c : d.core) EXPECT_EQ(c, 5u);
+}
+
+TEST(KCore, CoreVerticesNested) {
+  Graph g = gen::BarabasiAlbert(300, 3, 5);
+  CoreDecomposition d = KCoreDecomposition(g);
+  for (uint32_t k = 1; k <= d.kmax; ++k) {
+    auto outer = d.CoreVertices(k - 1);
+    auto inner = d.CoreVertices(k);
+    EXPECT_TRUE(std::includes(outer.begin(), outer.end(), inner.begin(),
+                              inner.end()))
+        << "core " << k << " not nested";
+  }
+}
+
+TEST(KCore, DegeneracyOrderProperty) {
+  // In removal order, each vertex has at most kmax neighbors later in the
+  // order (the defining property of a degeneracy ordering).
+  Graph g = gen::ErdosRenyi(150, 0.05, 9);
+  CoreDecomposition d = KCoreDecomposition(g);
+  std::vector<VertexId> rank = DegeneracyRank(d);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    uint32_t later = 0;
+    for (VertexId u : g.Neighbors(v)) later += rank[u] > rank[v];
+    EXPECT_LE(later, d.kmax);
+  }
+}
+
+class KCoreRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KCoreRandomTest, MatchesNaivePeeling) {
+  Graph g = gen::ErdosRenyi(60, 0.08 + 0.02 * (GetParam() % 5), GetParam());
+  CoreDecomposition d = KCoreDecomposition(g);
+  EXPECT_EQ(d.core, NaiveCoreNumbers(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, KCoreRandomTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace dsd

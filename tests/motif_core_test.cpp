@@ -1,0 +1,218 @@
+// Tests for dsd/motif_core: Algorithm 3's decomposition, core invariants
+// (Definition 6, Theorem 1), residual tracking, and RestrictToCore.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "clique/clique_degree.h"
+#include "core/kcore.h"
+#include "dsd/measure.h"
+#include "dsd/motif_core.h"
+#include "dsd/motif_oracle.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+
+namespace dsd {
+namespace {
+
+// Checks Definition 6 for every k: within the (k, Psi)-core, every vertex
+// has motif-degree >= k, and no superset qualifies (maximality via the
+// one-vertex-extension check).
+void CheckCoreInvariant(const Graph& g, const MotifOracle& oracle,
+                        const MotifCoreDecomposition& d, uint64_t k) {
+  std::vector<VertexId> members = d.CoreVertices(k);
+  if (members.empty()) return;
+  std::vector<char> alive(g.NumVertices(), 0);
+  for (VertexId v : members) alive[v] = 1;
+  std::vector<uint64_t> degrees = oracle.Degrees(g, alive);
+  for (VertexId v : members) {
+    EXPECT_GE(degrees[v], k) << "vertex " << v << " under-supported at k=" << k;
+  }
+}
+
+TEST(MotifCore, PaperFigure3TriangleCores) {
+  // Figure 3(b): K4 {A,B,C,D} is the (3, triangle)-core.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(1, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  b.AddEdge(2, 4);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  b.AddEdge(6, 7);
+  Graph g = b.Build();
+  CliqueOracle triangle(3);
+  MotifCoreDecomposition d = MotifCoreDecompose(g, triangle);
+  EXPECT_EQ(d.kmax, 3u);
+  EXPECT_EQ(d.CoreVertices(3), (std::vector<VertexId>{0, 1, 2, 3}));
+  // E sits in one triangle (C, D, E); so its clique-core number is 1.
+  EXPECT_EQ(d.core[4], 1u);
+  EXPECT_EQ(d.core[5], 0u);
+  EXPECT_EQ(d.core[6], 0u);
+}
+
+TEST(MotifCore, EdgeCaseEmptyAndNoInstances) {
+  CliqueOracle tri(3);
+  MotifCoreDecomposition empty = MotifCoreDecompose(Graph(), tri);
+  EXPECT_EQ(empty.kmax, 0u);
+  // A tree has no triangles at all.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(1, 3);
+  MotifCoreDecomposition tree = MotifCoreDecompose(b.Build(), tri);
+  EXPECT_EQ(tree.kmax, 0u);
+  EXPECT_EQ(tree.total_instances, 0u);
+  EXPECT_EQ(tree.best_residual_density, 0.0);
+}
+
+TEST(MotifCore, EdgeOracleMatchesClassicKCore) {
+  // For h = 2, the (k, Psi)-core is the classical k-core.
+  Graph g = gen::BarabasiAlbert(200, 3, 7);
+  CliqueOracle edge(2);
+  MotifCoreDecomposition d = MotifCoreDecompose(g, edge);
+  CoreDecomposition classic = KCoreDecomposition(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(d.core[v], classic.core[v]) << v;
+  }
+  EXPECT_EQ(d.kmax, classic.kmax);
+}
+
+class MotifCoreInvariantTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MotifCoreInvariantTest, AllCoresSatisfyDefinition) {
+  auto [seed, h] = GetParam();
+  Graph g = gen::ErdosRenyi(40, 0.2, seed);
+  CliqueOracle oracle(h);
+  MotifCoreDecomposition d = MotifCoreDecompose(g, oracle);
+  for (uint64_t k = 1; k <= d.kmax; ++k) {
+    CheckCoreInvariant(g, oracle, d, k);
+  }
+}
+
+TEST_P(MotifCoreInvariantTest, CoreNumbersAreMaximal) {
+  // core[v] is the HIGHEST order: v must not survive peeling at core[v]+1.
+  auto [seed, h] = GetParam();
+  Graph g = gen::ErdosRenyi(30, 0.25, seed + 50);
+  CliqueOracle oracle(h);
+  MotifCoreDecomposition d = MotifCoreDecompose(g, oracle);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    std::vector<VertexId> higher = d.CoreVertices(d.core[v] + 1);
+    EXPECT_TRUE(std::find(higher.begin(), higher.end(), v) == higher.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MotifCoreInvariantTest,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Range(2, 5)));
+
+TEST(MotifCore, PatternCoresSatisfyDefinition) {
+  Graph g = gen::ErdosRenyi(28, 0.25, 3);
+  for (const Pattern& p :
+       {Pattern::TwoStar(), Pattern::Diamond(), Pattern::C3Star()}) {
+    PatternOracle oracle(p);
+    MotifCoreDecomposition d = MotifCoreDecompose(g, oracle);
+    for (uint64_t k = 1; k <= d.kmax; ++k) {
+      CheckCoreInvariant(g, oracle, d, k);
+    }
+  }
+}
+
+TEST(MotifCore, ResidualDensityTracking) {
+  Graph g = gen::PlantedClique(50, 0.05, 10, 13);
+  CliqueOracle oracle(3);
+  MotifCoreDecomposition d = MotifCoreDecompose(g, oracle);
+  // residual_density[0] is the whole graph's density.
+  ASSERT_FALSE(d.residual_density.empty());
+  EXPECT_NEAR(d.residual_density[0],
+              static_cast<double>(d.total_instances) / g.NumVertices(), 1e-12);
+  // best must match a recomputation of the best suffix.
+  std::vector<VertexId> best = d.BestResidualVertices();
+  EXPECT_NEAR(MeasureDensity(g, oracle, best), d.best_residual_density, 1e-9);
+  // The planted K10 gives triangle density >= C(10,3)/10 = 12 somewhere.
+  EXPECT_GE(d.best_residual_density, 12.0);
+}
+
+TEST(MotifCore, CoreVerticesNested) {
+  Graph g = gen::ErdosRenyi(40, 0.2, 21);
+  CliqueOracle oracle(3);
+  MotifCoreDecomposition d = MotifCoreDecompose(g, oracle);
+  for (uint64_t k = 1; k <= d.kmax; ++k) {
+    auto outer = d.CoreVertices(k - 1);
+    auto inner = d.CoreVertices(k);
+    EXPECT_TRUE(
+        std::includes(outer.begin(), outer.end(), inner.begin(), inner.end()));
+  }
+}
+
+TEST(MotifCore, GammaBoundsCoreNumber) {
+  // CoreNumberUpperBounds must dominate true motif-core numbers (the
+  // correctness backbone of CoreApp's stopping rule).
+  for (int seed = 0; seed < 5; ++seed) {
+    Graph g = gen::ErdosRenyi(35, 0.25, seed);
+    for (int h = 2; h <= 4; ++h) {
+      CliqueOracle oracle(h);
+      auto bounds = oracle.CoreNumberUpperBounds(g);
+      MotifCoreDecomposition d = MotifCoreDecompose(g, oracle);
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        EXPECT_GE(bounds[v], d.core[v]) << "h=" << h << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(RestrictToCore, DropsUnderSupportedVertices) {
+  // Triangle + pendant: the (1, triangle)-core is the triangle itself.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  Graph g = b.Build();
+  CliqueOracle tri(3);
+  std::vector<VertexId> all = {0, 1, 2, 3};
+  EXPECT_EQ(RestrictToCore(g, tri, all, 1), (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_TRUE(RestrictToCore(g, tri, all, 2).empty());
+}
+
+TEST(RestrictToCore, AgreesWithDecompositionOnWholeGraph) {
+  Graph g = gen::ErdosRenyi(35, 0.25, 31);
+  CliqueOracle oracle(3);
+  MotifCoreDecomposition d = MotifCoreDecompose(g, oracle);
+  std::vector<VertexId> all(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) all[v] = v;
+  for (uint64_t k = 1; k <= d.kmax; ++k) {
+    EXPECT_EQ(RestrictToCore(g, oracle, all, k), d.CoreVertices(k)) << k;
+  }
+}
+
+TEST(RestrictToCore, CascadingRemovals) {
+  // Chain of triangles sharing single vertices: removing the weakest end
+  // cascades. Build triangles (0,1,2), (2,3,4), (4,5,6).
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  b.AddEdge(2, 4);
+  b.AddEdge(4, 5);
+  b.AddEdge(5, 6);
+  b.AddEdge(4, 6);
+  Graph g = b.Build();
+  CliqueOracle tri(3);
+  std::vector<VertexId> all = {0, 1, 2, 3, 4, 5, 6};
+  // Every vertex is in >= 1 triangle: core at k=1 keeps everything.
+  EXPECT_EQ(RestrictToCore(g, tri, all, 1).size(), 7u);
+  // k=2: only vertex 2 and 4 touch two triangles, but their triangles need
+  // the degree-1 companions, which die first => everything unravels.
+  EXPECT_TRUE(RestrictToCore(g, tri, all, 2).empty());
+}
+
+}  // namespace
+}  // namespace dsd

@@ -1,0 +1,99 @@
+// Tests for parallel/: parallel clique counting and parallel core
+// decomposition must agree bit-for-bit with their serial counterparts for
+// every thread count.
+#include <gtest/gtest.h>
+
+#include "clique/clique_enumerator.h"
+#include "core/nucleus.h"
+#include "dsd/motif_core.h"
+#include "dsd/motif_oracle.h"
+#include "graph/generators.h"
+#include "parallel/parallel_clique.h"
+#include "parallel/parallel_for.h"
+#include "parallel/parallel_nucleus.h"
+
+namespace dsd {
+namespace {
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 3u, 8u}) {
+    std::vector<std::atomic<uint32_t>> hits(101);
+    for (auto& h : hits) h = 0;
+    ParallelForStrided(101, threads,
+                       [&](unsigned, uint64_t i) { ++hits[i]; });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1u) << "i=" << i << " t=" << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, ZeroAndOneElement) {
+  int calls = 0;
+  ParallelForStrided(0, 4, [&](unsigned, uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelForStrided(1, 4, [&](unsigned, uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ResolveThreadCountTest, AutoAndExplicit) {
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+  EXPECT_EQ(ResolveThreadCount(3), 3u);
+}
+
+class ParallelCliqueTest
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(ParallelCliqueTest, CountMatchesSerial) {
+  auto [h, threads] = GetParam();
+  Graph g = gen::ErdosRenyi(80, 0.15, 42);
+  EXPECT_EQ(ParallelCliqueCount(g, h, threads),
+            CliqueEnumerator(g, h).Count());
+}
+
+TEST_P(ParallelCliqueTest, DegreesMatchSerial) {
+  auto [h, threads] = GetParam();
+  Graph g = gen::PlantedClique(120, 0.06, 9, 7);
+  EXPECT_EQ(ParallelCliqueDegrees(g, h, threads),
+            CliqueEnumerator(g, h).Degrees());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParallelCliqueTest,
+                         ::testing::Combine(::testing::Range(2, 6),
+                                            ::testing::Values(1u, 2u, 4u,
+                                                              0u)));
+
+class ParallelNucleusTest
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(ParallelNucleusTest, MatchesSerialDecomposition) {
+  auto [h, threads] = GetParam();
+  Graph g = gen::ErdosRenyi(50, 0.2, h * 100 + 17);
+  NucleusDecomposition parallel =
+      ParallelCliqueCoreDecomposition(g, h, threads);
+  MotifCoreDecomposition serial = MotifCoreDecompose(g, CliqueOracle(h));
+  ASSERT_EQ(parallel.core.size(), serial.core.size());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(parallel.core[v], serial.core[v]) << "v=" << v;
+  }
+  EXPECT_EQ(parallel.kmax, serial.kmax);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParallelNucleusTest,
+                         ::testing::Combine(::testing::Range(2, 5),
+                                            ::testing::Values(1u, 4u, 0u)));
+
+TEST(ParallelNucleus, EmptyAndTrivialGraphs) {
+  EXPECT_EQ(ParallelCliqueCoreDecomposition(Graph(), 3, 4).kmax, 0u);
+  Graph g = gen::ErdosRenyi(10, 0.0, 1);
+  EXPECT_EQ(ParallelCliqueCoreDecomposition(g, 2, 4).kmax, 0u);
+}
+
+TEST(ParallelNucleus, DeterministicAcrossThreadCounts) {
+  Graph g = gen::BarabasiAlbert(300, 3, 5);
+  NucleusDecomposition one = ParallelCliqueCoreDecomposition(g, 3, 1);
+  NucleusDecomposition eight = ParallelCliqueCoreDecomposition(g, 3, 8);
+  EXPECT_EQ(one.core, eight.core);
+}
+
+}  // namespace
+}  // namespace dsd

@@ -1,0 +1,285 @@
+// Tests for pattern/: pattern vocabulary, automorphisms, embedding
+// enumeration, instance grouping, and the specialised appendix-D kernels.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "pattern/isomorphism.h"
+#include "pattern/pattern.h"
+#include "pattern/special.h"
+
+namespace dsd {
+namespace {
+
+TEST(Pattern, VocabularyShapes) {
+  EXPECT_EQ(Pattern::EdgePattern().size(), 2);
+  EXPECT_EQ(Pattern::Triangle().size(), 3);
+  EXPECT_EQ(Pattern::Clique(5).edges().size(), 10u);
+  EXPECT_EQ(Pattern::TwoStar().size(), 3);
+  EXPECT_EQ(Pattern::ThreeStar().size(), 4);
+  EXPECT_EQ(Pattern::C3Star().size(), 4);
+  EXPECT_EQ(Pattern::Diamond().size(), 4);
+  EXPECT_EQ(Pattern::Diamond().edges().size(), 4u);
+  EXPECT_EQ(Pattern::TwoTriangle().edges().size(), 5u);
+  EXPECT_EQ(Pattern::ThreeTriangle().size(), 5);
+  EXPECT_EQ(Pattern::Basket().size(), 5);
+  for (const Pattern& p :
+       {Pattern::EdgePattern(), Pattern::TwoStar(), Pattern::ThreeStar(),
+        Pattern::C3Star(), Pattern::Diamond(), Pattern::TwoTriangle(),
+        Pattern::ThreeTriangle(), Pattern::Basket(), Pattern::Clique(4)}) {
+    EXPECT_TRUE(p.IsConnected()) << p.name();
+  }
+}
+
+TEST(Pattern, C3StarIsSubpatternOfTwoTriangle) {
+  // The paper states c3-star ⊆ 2-triangle with 4 vertices each (Section 8.2).
+  Pattern paw = Pattern::C3Star();
+  Pattern two_tri = Pattern::TwoTriangle();
+  EXPECT_EQ(paw.size(), two_tri.size());
+  EXPECT_LT(paw.edges().size(), two_tri.edges().size());
+}
+
+TEST(Pattern, AutomorphismCounts) {
+  EXPECT_EQ(Pattern::EdgePattern().AutomorphismCount(), 2u);
+  EXPECT_EQ(Pattern::Triangle().AutomorphismCount(), 6u);
+  EXPECT_EQ(Pattern::Clique(4).AutomorphismCount(), 24u);
+  EXPECT_EQ(Pattern::TwoStar().AutomorphismCount(), 2u);    // swap tails
+  EXPECT_EQ(Pattern::ThreeStar().AutomorphismCount(), 6u);  // 3! tails
+  EXPECT_EQ(Pattern::Diamond().AutomorphismCount(), 8u);    // dihedral D4
+  EXPECT_EQ(Pattern::TwoTriangle().AutomorphismCount(), 4u);
+  EXPECT_EQ(Pattern::C3Star().AutomorphismCount(), 2u);
+}
+
+TEST(Pattern, ClassifiersAgree) {
+  EXPECT_TRUE(Pattern::Clique(4).IsClique());
+  EXPECT_FALSE(Pattern::Diamond().IsClique());
+  EXPECT_EQ(Pattern::TwoStar().StarTails(), 2);
+  EXPECT_EQ(Pattern::ThreeStar().StarTails(), 3);
+  EXPECT_EQ(Pattern::Star(5).StarTails(), 5);
+  EXPECT_EQ(Pattern::Triangle().StarTails(), 0);
+  EXPECT_EQ(Pattern::C3Star().StarTails(), 0);
+  EXPECT_TRUE(Pattern::Diamond().IsFourCycle());
+  EXPECT_FALSE(Pattern::TwoTriangle().IsFourCycle());
+  EXPECT_FALSE(Pattern::Clique(4).IsFourCycle());
+}
+
+// --- Embedding enumeration -------------------------------------------------
+
+Graph K(int n) {
+  GraphBuilder b;
+  for (VertexId u = 0; u < static_cast<VertexId>(n); ++u)
+    for (VertexId v = u + 1; v < static_cast<VertexId>(n); ++v)
+      b.AddEdge(u, v);
+  return b.Build();
+}
+
+TEST(EmbeddingEnumerator, TriangleInK4) {
+  Graph g = K(4);
+  EmbeddingEnumerator e(g, Pattern::Triangle());
+  EXPECT_EQ(e.CountInstances({}), 4u);  // C(4,3)
+}
+
+TEST(EmbeddingEnumerator, DiamondIsC4NotK4MinusEdge) {
+  // K4 contains exactly 3 four-cycles (Example 6 counts 3 diamonds in one
+  // 4-vertex group) but 6 K4-minus-edge subgraphs. This pins the
+  // interpretation down.
+  Graph g = K(4);
+  EmbeddingEnumerator e(g, Pattern::Diamond());
+  EXPECT_EQ(e.CountInstances({}), 3u);
+}
+
+TEST(EmbeddingEnumerator, PaperExample6Groups) {
+  // Figure 6(a): A=0,B=1,C=2,D=3,E=4,F=5,G=6,H=7.
+  // Square ABCD (A-B, B-C, C-D, D-A) plus K4-ish block on A,D,E,F and
+  // pendant G, H. We reconstruct a graph with group g1 = {A,B,C,D} (1
+  // diamond) and group g2 = {A,D,E,F} (3 diamonds => contains K4).
+  GraphBuilder b;
+  b.AddEdge(0, 1);  // A-B
+  b.AddEdge(1, 2);  // B-C
+  b.AddEdge(2, 3);  // C-D
+  b.AddEdge(0, 3);  // A-D
+  // K4 on A, D, E, F.
+  b.AddEdge(0, 4);
+  b.AddEdge(0, 5);
+  b.AddEdge(3, 4);
+  b.AddEdge(3, 5);
+  b.AddEdge(4, 5);
+  // pendants
+  b.AddEdge(4, 6);  // E-G
+  b.AddEdge(5, 7);  // F-H
+  Graph g = b.Build();
+  EmbeddingEnumerator e(g, Pattern::Diamond());
+  std::vector<InstanceGroup> groups = e.Groups({});
+  ASSERT_EQ(groups.size(), 2u);
+  // Groups are sorted by vertex set: {A,B,C,D} then {A,D,E,F}.
+  EXPECT_EQ(groups[0].vertices, (std::vector<VertexId>{0, 1, 2, 3}));
+  EXPECT_EQ(groups[0].multiplicity, 1u);
+  EXPECT_EQ(groups[1].vertices, (std::vector<VertexId>{0, 3, 4, 5}));
+  EXPECT_EQ(groups[1].multiplicity, 3u);
+}
+
+TEST(EmbeddingEnumerator, TwoStarCounts) {
+  // Path 0-1-2: one 2-star centered at 1.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = b.Build();
+  EmbeddingEnumerator e(g, Pattern::TwoStar());
+  EXPECT_EQ(e.CountInstances({}), 1u);
+  auto deg = e.Degrees({});
+  EXPECT_EQ(deg[0], 1u);
+  EXPECT_EQ(deg[1], 1u);
+  EXPECT_EQ(deg[2], 1u);
+}
+
+TEST(EmbeddingEnumerator, DegreesMatchHandshake) {
+  Graph g = gen::ErdosRenyi(25, 0.3, 3);
+  for (const Pattern& p : {Pattern::TwoStar(), Pattern::C3Star(),
+                           Pattern::Diamond(), Pattern::TwoTriangle()}) {
+    EmbeddingEnumerator e(g, p);
+    auto deg = e.Degrees({});
+    uint64_t sum = 0;
+    for (uint64_t d : deg) sum += d;
+    EXPECT_EQ(sum, static_cast<uint64_t>(p.size()) * e.CountInstances({}))
+        << p.name();
+  }
+}
+
+TEST(EmbeddingEnumerator, EnumerateContainingCoversAllEmbeddings) {
+  Graph g = gen::ErdosRenyi(18, 0.35, 11);
+  Pattern p = Pattern::C3Star();
+  EmbeddingEnumerator e(g, p);
+  uint64_t total = 0;
+  e.EnumerateAll({}, [&total](std::span<const VertexId>) { ++total; });
+  uint64_t by_vertex = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    e.EnumerateContaining(v, {},
+                          [&by_vertex](std::span<const VertexId>) {
+                            ++by_vertex;
+                          });
+  }
+  // Each embedding has |V_psi| vertices, so it is found once per member.
+  EXPECT_EQ(by_vertex, static_cast<uint64_t>(p.size()) * total);
+}
+
+TEST(EmbeddingEnumerator, AliveMaskRestricts) {
+  Graph g = K(5);
+  std::vector<char> alive(5, 1);
+  EmbeddingEnumerator e(g, Pattern::Triangle());
+  EXPECT_EQ(e.CountInstances(alive), 10u);
+  alive[0] = 0;
+  EXPECT_EQ(e.CountInstances(alive), 4u);  // C(4,3)
+  alive[1] = 0;
+  EXPECT_EQ(e.CountInstances(alive), 1u);
+}
+
+TEST(EmbeddingEnumerator, CliquePatternMatchesCliqueSemantics) {
+  Graph g = gen::ErdosRenyi(20, 0.4, 13);
+  for (int h = 2; h <= 4; ++h) {
+    EmbeddingEnumerator e(g, Pattern::Clique(h));
+    // Instance = edge-set-distinct subgraph; for cliques that is one per
+    // vertex subset.
+    std::vector<InstanceGroup> groups = e.Groups({});
+    for (const InstanceGroup& grp : groups) EXPECT_EQ(grp.multiplicity, 1u);
+    EXPECT_EQ(e.CountInstances({}), groups.size());
+  }
+}
+
+// --- Specialised kernels vs generic engine ---------------------------------
+
+class SpecialKernelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpecialKernelTest, StarDegreesMatchGeneric) {
+  Graph g = gen::ErdosRenyi(30, 0.15, GetParam());
+  for (int x = 2; x <= 4; ++x) {
+    EmbeddingEnumerator e(g, Pattern::Star(x));
+    EXPECT_EQ(StarDegrees(g, x, {}), e.Degrees({})) << "x=" << x;
+    EXPECT_EQ(StarCount(g, x, {}), e.CountInstances({})) << "x=" << x;
+  }
+}
+
+TEST_P(SpecialKernelTest, FourCycleDegreesMatchGeneric) {
+  Graph g = gen::ErdosRenyi(26, 0.25, GetParam() + 100);
+  EmbeddingEnumerator e(g, Pattern::Diamond());
+  EXPECT_EQ(FourCycleDegrees(g, {}), e.Degrees({}));
+  EXPECT_EQ(FourCycleCount(g, {}), e.CountInstances({}));
+}
+
+TEST_P(SpecialKernelTest, KernelsRespectAliveMask) {
+  Graph g = gen::ErdosRenyi(24, 0.3, GetParam() + 200);
+  std::vector<char> alive(g.NumVertices(), 1);
+  for (VertexId v = 0; v < g.NumVertices(); v += 3) alive[v] = 0;
+  EmbeddingEnumerator star(g, Pattern::TwoStar());
+  EXPECT_EQ(StarDegrees(g, 2, alive), star.Degrees(alive));
+  EmbeddingEnumerator cyc(g, Pattern::Diamond());
+  EXPECT_EQ(FourCycleDegrees(g, alive), cyc.Degrees(alive));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecialKernelTest, ::testing::Range(0, 10));
+
+// Reference peel via the generic embedding engine: hits / |Aut|.
+std::pair<uint64_t, std::map<VertexId, uint64_t>> GenericPeel(
+    const Graph& g, const Pattern& p, VertexId v,
+    std::span<const char> alive) {
+  EmbeddingEnumerator e(g, p);
+  std::map<VertexId, uint64_t> hits;
+  uint64_t embeddings = 0;
+  e.EnumerateContaining(v, alive, [&](std::span<const VertexId> image) {
+    ++embeddings;
+    for (VertexId u : image) {
+      if (u != v) ++hits[u];
+    }
+  });
+  const uint64_t aut = p.AutomorphismCount();
+  for (auto& [u, c] : hits) c /= aut;
+  std::erase_if(hits, [](const auto& kv) { return kv.second == 0; });
+  return {embeddings / aut, hits};
+}
+
+class SpecialPeelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpecialPeelTest, StarPeelMatchesGeneric) {
+  Graph g = gen::ErdosRenyi(24, 0.25, GetParam() + 300);
+  std::vector<char> alive(g.NumVertices(), 1);
+  for (int x = 2; x <= 3; ++x) {
+    Pattern p = Pattern::Star(x);
+    for (VertexId v = 0; v < g.NumVertices(); v += 5) {
+      std::vector<char> mask = alive;
+      mask[v] = 0;
+      auto [want_destroyed, want_hits] = GenericPeel(g, p, v, mask);
+      std::map<VertexId, uint64_t> got_hits;
+      uint64_t got_destroyed = StarPeelVertex(
+          g, x, v, mask,
+          [&](VertexId u, uint64_t c) { got_hits[u] += c; });
+      std::erase_if(got_hits, [](const auto& kv) { return kv.second == 0; });
+      EXPECT_EQ(got_destroyed, want_destroyed) << "x=" << x << " v=" << v;
+      EXPECT_EQ(got_hits, want_hits) << "x=" << x << " v=" << v;
+    }
+  }
+}
+
+TEST_P(SpecialPeelTest, FourCyclePeelMatchesGeneric) {
+  Graph g = gen::ErdosRenyi(22, 0.3, GetParam() + 600);
+  Pattern p = Pattern::Diamond();
+  for (VertexId v = 0; v < g.NumVertices(); v += 4) {
+    std::vector<char> mask(g.NumVertices(), 1);
+    mask[v] = 0;
+    mask[(v + 7) % g.NumVertices()] = 0;  // an extra dead vertex
+    auto [want_destroyed, want_hits] = GenericPeel(g, p, v, mask);
+    std::map<VertexId, uint64_t> got_hits;
+    uint64_t got_destroyed = FourCyclePeelVertex(
+        g, v, mask, [&](VertexId u, uint64_t c) { got_hits[u] += c; });
+    std::erase_if(got_hits, [](const auto& kv) { return kv.second == 0; });
+    EXPECT_EQ(got_destroyed, want_destroyed) << "v=" << v;
+    EXPECT_EQ(got_hits, want_hits) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecialPeelTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace dsd

@@ -1,0 +1,167 @@
+// Property-based tests for the paper's theorems and lemmas:
+//   Theorem 1 (density bounds of (k, Psi)-cores),
+//   Lemma 3  (CDS components share one density),
+//   Lemma 5  (rho_opt <= kmax),
+//   Lemma 7  (CDS contained in the ceil(rho_opt)-core),
+//   Lemma 8  (1/|V_Psi| approximation of the kmax-core),
+//   Lemma 11 (PExact and construct+ cut equivalence),
+//   Lemma 12 (distinct densities separated by 1/(n(n-1))).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsd/core_exact.h"
+#include "dsd/exact.h"
+#include "dsd/inc_app.h"
+#include "dsd/measure.h"
+#include "dsd/motif_core.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+
+namespace dsd {
+namespace {
+
+class TheoremOneTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TheoremOneTest, CoreDensityBounds) {
+  auto [seed, h] = GetParam();
+  Graph g = gen::ErdosRenyi(35, 0.25, seed);
+  CliqueOracle oracle(h);
+  MotifCoreDecomposition d = MotifCoreDecompose(g, oracle);
+  for (uint64_t k = 1; k <= d.kmax; ++k) {
+    std::vector<VertexId> core = d.CoreVertices(k);
+    if (core.empty()) continue;
+    double density = MeasureDensity(g, oracle, core);
+    EXPECT_GE(density + 1e-9, static_cast<double>(k) / h)
+        << "lower bound, k=" << k;
+    EXPECT_LE(density, static_cast<double>(d.kmax) + 1e-9)
+        << "upper bound, k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TheoremOneTest,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Range(2, 5)));
+
+TEST(Lemma5, OptimalDensityAtMostKmax) {
+  for (int seed = 0; seed < 8; ++seed) {
+    Graph g = gen::ErdosRenyi(25, 0.3, seed);
+    for (int h = 2; h <= 4; ++h) {
+      CliqueOracle oracle(h);
+      MotifCoreDecomposition d = MotifCoreDecompose(g, oracle);
+      DensestResult opt = CoreExact(g, oracle);
+      EXPECT_LE(opt.density, static_cast<double>(d.kmax) + 1e-9)
+          << "seed " << seed << " h " << h;
+    }
+  }
+}
+
+TEST(Lemma7, CdsContainedInCeilRhoCore) {
+  for (int seed = 0; seed < 8; ++seed) {
+    Graph g = gen::ErdosRenyi(25, 0.3, seed + 100);
+    for (int h = 2; h <= 3; ++h) {
+      CliqueOracle oracle(h);
+      DensestResult opt = CoreExact(g, oracle);
+      if (opt.vertices.empty()) continue;
+      MotifCoreDecomposition d = MotifCoreDecompose(g, oracle);
+      std::vector<VertexId> core =
+          d.CoreVertices(static_cast<uint64_t>(std::ceil(opt.density - 1e-9)));
+      EXPECT_TRUE(std::includes(core.begin(), core.end(),
+                                opt.vertices.begin(), opt.vertices.end()))
+          << "seed " << seed << " h " << h;
+    }
+  }
+}
+
+TEST(Lemma3, CdsComponentsShareDensity) {
+  for (int seed = 0; seed < 10; ++seed) {
+    Graph g = gen::ErdosRenyi(20, 0.3, seed + 200);
+    CliqueOracle edge(2);
+    DensestResult opt = CoreExact(g, edge);
+    if (opt.vertices.size() < 2) continue;
+    Subgraph sub = InducedSubgraph(g, opt.vertices);
+    auto groups = ConnectedComponents(sub.graph).Groups();
+    for (const auto& group : groups) {
+      std::vector<VertexId> parent = sub.ToParent(group);
+      EXPECT_NEAR(MeasureDensity(g, edge, parent), opt.density, 1e-6)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(Lemma8, KmaxCoreApproximationRatio) {
+  for (int seed = 0; seed < 8; ++seed) {
+    Graph g = gen::ErdosRenyi(30, 0.25, seed + 300);
+    for (int h = 2; h <= 4; ++h) {
+      CliqueOracle oracle(h);
+      DensestResult opt = CoreExact(g, oracle);
+      DensestResult core = IncApp(g, oracle);
+      if (opt.density == 0.0) continue;
+      EXPECT_GE(core.density / opt.density + 1e-9, 1.0 / h)
+          << "seed " << seed << " h " << h;
+    }
+  }
+}
+
+TEST(Lemma12, DensitySeparation) {
+  // All subset densities of a small graph, pairwise distinct => gap at least
+  // 1/(n(n-1)).
+  Graph g = gen::ErdosRenyi(9, 0.4, 5);
+  CliqueOracle edge(2);
+  const VertexId n = g.NumVertices();
+  std::vector<double> densities;
+  std::vector<VertexId> subset;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    subset.clear();
+    for (VertexId v = 0; v < n; ++v) {
+      if ((mask >> v) & 1u) subset.push_back(v);
+    }
+    densities.push_back(MeasureDensity(g, edge, subset));
+  }
+  std::sort(densities.begin(), densities.end());
+  const double min_gap = 1.0 / (static_cast<double>(n) * (n - 1));
+  for (size_t i = 1; i < densities.size(); ++i) {
+    double gap = densities[i] - densities[i - 1];
+    if (gap > 1e-12) {
+      EXPECT_GE(gap + 1e-9, min_gap);
+    }
+  }
+}
+
+TEST(Lemma4, RemovingCdsVerticesDestroysAtLeastRhoInstances) {
+  for (int seed = 0; seed < 6; ++seed) {
+    Graph g = gen::ErdosRenyi(18, 0.35, seed + 400);
+    CliqueOracle tri(3);
+    DensestResult opt = CoreExact(g, tri);
+    if (opt.vertices.empty()) continue;
+    // Remove each single vertex from the CDS: at least ceil(rho) instances
+    // must disappear.
+    for (VertexId victim : opt.vertices) {
+      std::vector<VertexId> rest;
+      for (VertexId v : opt.vertices) {
+        if (v != victim) rest.push_back(v);
+      }
+      uint64_t before = opt.instances;
+      uint64_t after = MeasureInstances(g, tri, rest);
+      EXPECT_GE(static_cast<double>(before - after) + 1e-9, opt.density)
+          << "seed " << seed << " victim " << victim;
+    }
+  }
+}
+
+TEST(ResidualDensities, PeelingNeverBeatsOptimum) {
+  for (int seed = 0; seed < 6; ++seed) {
+    Graph g = gen::ErdosRenyi(22, 0.3, seed + 500);
+    CliqueOracle edge(2);
+    MotifCoreDecomposition d = MotifCoreDecompose(g, edge);
+    DensestResult opt = CoreExact(g, edge);
+    for (double rho : d.residual_density) {
+      EXPECT_LE(rho, opt.density + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsd

@@ -1,0 +1,129 @@
+// Tests for flow/push_relabel: known instances plus randomized equivalence
+// with the Dinic solver (values and cut capacities).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "flow/max_flow.h"
+#include "flow/push_relabel.h"
+#include "util/random.h"
+
+namespace dsd {
+namespace {
+
+TEST(PushRelabel, SingleEdge) {
+  PushRelabelNetwork net(2);
+  net.AddArc(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 1), 5.0);
+}
+
+TEST(PushRelabel, SeriesParallel) {
+  PushRelabelNetwork net(4);
+  net.AddArc(0, 1, 2.0);
+  net.AddArc(1, 3, 1.0);
+  net.AddArc(0, 2, 3.0);
+  net.AddArc(2, 3, 4.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 3), 4.0);
+}
+
+TEST(PushRelabel, ClassicCLRSExample) {
+  PushRelabelNetwork net(6);
+  net.AddArc(0, 1, 16);
+  net.AddArc(0, 2, 13);
+  net.AddArc(1, 2, 10);
+  net.AddArc(2, 1, 4);
+  net.AddArc(1, 3, 12);
+  net.AddArc(3, 2, 9);
+  net.AddArc(2, 4, 14);
+  net.AddArc(4, 3, 7);
+  net.AddArc(3, 5, 20);
+  net.AddArc(4, 5, 4);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 5), 23.0);
+}
+
+TEST(PushRelabel, Disconnected) {
+  PushRelabelNetwork net(4);
+  net.AddArc(0, 1, 10);
+  net.AddArc(2, 3, 10);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 3), 0.0);
+}
+
+TEST(PushRelabel, SetCapacityRetunes) {
+  PushRelabelNetwork net(3);
+  auto a = net.AddArc(0, 1, 1.0);
+  net.AddArc(1, 2, 10.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 2), 1.0);
+  net.SetCapacity(a, 7.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 2), 7.0);
+}
+
+TEST(PushRelabel, MinCutSeparates) {
+  PushRelabelNetwork net(5);
+  net.AddArc(0, 1, 5);
+  net.AddArc(1, 2, 1);
+  net.AddArc(2, 3, 5);
+  net.AddArc(3, 4, 5);
+  net.MaxFlow(0, 4);
+  auto side = net.MinCutSourceSide(0);
+  EXPECT_TRUE(std::find(side.begin(), side.end(), 0u) != side.end());
+  EXPECT_TRUE(std::find(side.begin(), side.end(), 1u) != side.end());
+  EXPECT_TRUE(std::find(side.begin(), side.end(), 4u) == side.end());
+}
+
+class PushRelabelVsDinicTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PushRelabelVsDinicTest, FlowValuesAgree) {
+  Rng rng(GetParam() * 7919 + 13);
+  const int n = 2 + static_cast<int>(rng.NextBounded(14));
+  MaxFlowNetwork dinic(n);
+  PushRelabelNetwork pr(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u != v && rng.NextBernoulli(0.35)) {
+        double c = static_cast<double>(rng.NextBounded(12));
+        dinic.AddArc(u, v, c);
+        pr.AddArc(u, v, c);
+      }
+    }
+  }
+  double a = dinic.MaxFlow(0, n - 1);
+  double b = pr.MaxFlow(0, n - 1);
+  EXPECT_NEAR(a, b, 1e-6) << "n=" << n;
+}
+
+TEST_P(PushRelabelVsDinicTest, CutsAreBothMinimum) {
+  // The cuts may differ as sets; both must have capacity equal to the flow.
+  Rng rng(GetParam() * 104729 + 7);
+  const int n = 3 + static_cast<int>(rng.NextBounded(10));
+  std::vector<std::tuple<int, int, double>> arcs;
+  MaxFlowNetwork dinic(n);
+  PushRelabelNetwork pr(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u != v && rng.NextBernoulli(0.4)) {
+        double c = 1.0 + static_cast<double>(rng.NextBounded(9));
+        arcs.emplace_back(u, v, c);
+        dinic.AddArc(u, v, c);
+        pr.AddArc(u, v, c);
+      }
+    }
+  }
+  double flow = pr.MaxFlow(0, n - 1);
+  auto side = pr.MinCutSourceSide(0);
+  std::vector<char> in_side(n, 0);
+  for (auto v : side) in_side[v] = 1;
+  ASSERT_TRUE(in_side[0]);
+  ASSERT_FALSE(in_side[n - 1]);
+  double cut = 0;
+  for (auto [u, v, c] : arcs) {
+    if (in_side[u] && !in_side[v]) cut += c;
+  }
+  EXPECT_NEAR(cut, flow, 1e-6);
+  EXPECT_NEAR(dinic.MaxFlow(0, n - 1), flow, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PushRelabelVsDinicTest,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace dsd

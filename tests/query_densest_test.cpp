@@ -1,0 +1,102 @@
+// Tests for dsd/query_densest (Section 6.3's query-anchored variant):
+// brute-force agreement, anchoring invariants, core-location sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dsd/core_exact.h"
+#include "dsd/query_densest.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace dsd {
+namespace {
+
+bool Contains(const std::vector<VertexId>& haystack, VertexId needle) {
+  return std::find(haystack.begin(), haystack.end(), needle) != haystack.end();
+}
+
+TEST(QueryDensest, AnswerAlwaysContainsQuery) {
+  Graph g = gen::PlantedClique(60, 0.05, 10, 3);
+  CliqueOracle edge(2);
+  for (VertexId q = 0; q < g.NumVertices(); q += 7) {
+    std::vector<VertexId> query = {q};
+    DensestResult r = QueryDensest(g, edge, query);
+    EXPECT_TRUE(Contains(r.vertices, q)) << "query " << q;
+  }
+}
+
+TEST(QueryDensest, EmptyQueryFallsBackToCoreExact) {
+  Graph g = gen::ErdosRenyi(30, 0.2, 5);
+  CliqueOracle edge(2);
+  DensestResult anchored = QueryDensest(g, edge, {});
+  DensestResult plain = CoreExact(g, edge);
+  EXPECT_NEAR(anchored.density, plain.density, 1e-9);
+}
+
+TEST(QueryDensest, QueryInsideCdsChangesNothing) {
+  // If the query vertex already belongs to the unconstrained CDS, the
+  // anchored optimum equals the unconstrained one.
+  Graph g = gen::PlantedClique(50, 0.05, 9, 7);
+  CliqueOracle edge(2);
+  DensestResult plain = CoreExact(g, edge);
+  ASSERT_FALSE(plain.vertices.empty());
+  std::vector<VertexId> query = {plain.vertices.front()};
+  DensestResult anchored = QueryDensest(g, edge, query);
+  EXPECT_NEAR(anchored.density, plain.density, 1e-9);
+}
+
+TEST(QueryDensest, RemoteVertexLowersDensity) {
+  // Anchoring on a pendant vertex far from the dense blob must cost density.
+  GraphBuilder b;
+  for (VertexId u = 0; u < 6; ++u)
+    for (VertexId v = u + 1; v < 6; ++v) b.AddEdge(u, v);
+  b.AddEdge(5, 6);
+  b.AddEdge(6, 7);  // pendant chain
+  Graph g = b.Build();
+  CliqueOracle edge(2);
+  DensestResult plain = CoreExact(g, edge);
+  std::vector<VertexId> query = {7};
+  DensestResult anchored = QueryDensest(g, edge, query);
+  EXPECT_TRUE(Contains(anchored.vertices, 7));
+  EXPECT_LT(anchored.density, plain.density);
+  EXPECT_GT(anchored.density, 0.0);
+}
+
+class QueryBruteForceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueryBruteForceTest, MatchesBruteForceSingleAnchor) {
+  Graph g = gen::ErdosRenyi(11, 0.35, GetParam());
+  CliqueOracle edge(2);
+  for (VertexId q = 0; q < g.NumVertices(); q += 3) {
+    std::vector<VertexId> query = {q};
+    DensestResult fast = QueryDensest(g, edge, query);
+    DensestResult brute = BruteForceQueryDensest(g, edge, query);
+    EXPECT_NEAR(fast.density, brute.density, 1e-9)
+        << "seed " << GetParam() << " anchor " << q;
+  }
+}
+
+TEST_P(QueryBruteForceTest, MatchesBruteForceMultiAnchor) {
+  Graph g = gen::ErdosRenyi(11, 0.4, GetParam() + 500);
+  CliqueOracle edge(2);
+  std::vector<VertexId> query = {0, static_cast<VertexId>(
+                                        g.NumVertices() / 2)};
+  DensestResult fast = QueryDensest(g, edge, query);
+  DensestResult brute = BruteForceQueryDensest(g, edge, query);
+  EXPECT_NEAR(fast.density, brute.density, 1e-9) << "seed " << GetParam();
+}
+
+TEST_P(QueryBruteForceTest, MatchesBruteForceTriangleMotif) {
+  Graph g = gen::ErdosRenyi(10, 0.5, GetParam() + 900);
+  CliqueOracle tri(3);
+  std::vector<VertexId> query = {1};
+  DensestResult fast = QueryDensest(g, tri, query);
+  DensestResult brute = BruteForceQueryDensest(g, tri, query);
+  EXPECT_NEAR(fast.density, brute.density, 1e-9) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryBruteForceTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace dsd

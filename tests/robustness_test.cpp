@@ -1,0 +1,198 @@
+// Failure-injection and pathological-input tests: every public algorithm
+// must behave sensibly on degenerate graphs (empty, single vertex, stars,
+// paths, complete graphs, heavy disconnection) and the loaders must reject
+// malformed bytes without crashing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "dsd/dsd.h"
+#include "util/combinatorics.h"
+
+namespace dsd {
+namespace {
+
+// --- Loader hostility -------------------------------------------------------
+
+TEST(Robustness, LoaderRejectsBinaryGarbage) {
+  // Leading control bytes; no NUL first so the literal is not truncated.
+  std::string garbage = "\x01\xff\xfe not a graph \n 1 2 3 4 5";
+  EXPECT_FALSE(io::ParseEdgeList(garbage).ok());
+}
+
+TEST(Robustness, LoaderRejectsOverflowingIds) {
+  EXPECT_FALSE(io::ParseEdgeList("0 99999999999999999999999999\n").ok());
+}
+
+TEST(Robustness, LoaderRejectsNegativeNumbers) {
+  EXPECT_FALSE(io::ParseEdgeList("-1 2\n").ok());
+}
+
+TEST(Robustness, LoaderAcceptsEmptyAndCommentOnlyFiles) {
+  auto empty = io::ParseEdgeList("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().NumVertices(), 0u);
+  auto comments = io::ParseEdgeList("# nothing\n% here\n\n");
+  ASSERT_TRUE(comments.ok());
+  EXPECT_EQ(comments.value().NumEdges(), 0u);
+}
+
+TEST(Robustness, LoaderHandlesNoTrailingNewline) {
+  auto g = io::ParseEdgeList("0 1\n1 2");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().NumEdges(), 2u);
+}
+
+TEST(Robustness, LoaderSelfLoopHeavyInput) {
+  auto g = io::ParseEdgeList("5 5\n5 5\n5 6\n6 6\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().NumEdges(), 1u);
+}
+
+// --- Pathological graph shapes across the whole algorithm roster ------------
+
+struct NamedGraph {
+  const char* name;
+  Graph graph;
+};
+
+std::vector<NamedGraph> PathologicalGraphs() {
+  std::vector<NamedGraph> graphs;
+  graphs.push_back({"empty", Graph()});
+  {
+    GraphBuilder b;
+    b.EnsureVertices(1);
+    graphs.push_back({"single-vertex", b.Build()});
+  }
+  {
+    GraphBuilder b;
+    b.AddEdge(0, 1);
+    graphs.push_back({"single-edge", b.Build()});
+  }
+  {
+    GraphBuilder b;  // star
+    for (VertexId v = 1; v <= 12; ++v) b.AddEdge(0, v);
+    graphs.push_back({"star", b.Build()});
+  }
+  {
+    GraphBuilder b;  // path
+    for (VertexId v = 0; v + 1 < 15; ++v) b.AddEdge(v, v + 1);
+    graphs.push_back({"path", b.Build()});
+  }
+  {
+    GraphBuilder b;  // complete graph
+    for (VertexId u = 0; u < 9; ++u)
+      for (VertexId v = u + 1; v < 9; ++v) b.AddEdge(u, v);
+    graphs.push_back({"K9", b.Build()});
+  }
+  {
+    GraphBuilder b;  // many tiny components + isolated vertices
+    for (VertexId i = 0; i < 10; ++i) b.AddEdge(3 * i, 3 * i + 1);
+    b.EnsureVertices(40);
+    graphs.push_back({"shattered", b.Build()});
+  }
+  return graphs;
+}
+
+TEST(Robustness, AllAlgorithmsSurvivePathologicalGraphs) {
+  for (const NamedGraph& ng : PathologicalGraphs()) {
+    SCOPED_TRACE(ng.name);
+    for (int h : {2, 3}) {
+      CliqueOracle oracle(h);
+      DensestResult exact = CoreExact(ng.graph, oracle);
+      DensestResult baseline = Exact(ng.graph, oracle);
+      DensestResult peel = PeelApp(ng.graph, oracle);
+      DensestResult inc = IncApp(ng.graph, oracle);
+      DensestResult capp = CoreApp(ng.graph, oracle);
+      DensestResult stream = StreamApp(ng.graph, oracle, 0.2);
+      EXPECT_NEAR(exact.density, baseline.density, 1e-9) << "h=" << h;
+      EXPECT_EQ(inc.vertices, capp.vertices) << "h=" << h;
+      EXPECT_LE(peel.density, exact.density + 1e-9) << "h=" << h;
+      EXPECT_LE(stream.density, exact.density + 1e-9) << "h=" << h;
+    }
+  }
+}
+
+TEST(Robustness, PatternAlgorithmsSurvivePathologicalGraphs) {
+  for (const NamedGraph& ng : PathologicalGraphs()) {
+    SCOPED_TRACE(ng.name);
+    for (const Pattern& p : {Pattern::TwoStar(), Pattern::Diamond()}) {
+      PatternOracle oracle(p);
+      DensestResult exact = CorePExact(ng.graph, oracle);
+      DensestResult peel = PeelApp(ng.graph, oracle);
+      EXPECT_LE(peel.density, exact.density + 1e-9) << p.name();
+    }
+  }
+}
+
+TEST(Robustness, StarGraphDensities) {
+  // On a star, edge density of the whole graph is maximal (n-1)/n; 2-star
+  // density peaks on the whole star; triangles are absent.
+  GraphBuilder b;
+  for (VertexId v = 1; v <= 12; ++v) b.AddEdge(0, v);
+  Graph g = b.Build();
+  EXPECT_NEAR(CoreExact(g, CliqueOracle(2)).density, 12.0 / 13.0, 1e-9);
+  EXPECT_EQ(CoreExact(g, CliqueOracle(3)).density, 0.0);
+  PatternOracle two_star{Pattern::TwoStar()};
+  DensestResult star_pds = CorePExact(g, two_star);
+  EXPECT_NEAR(star_pds.density, 66.0 / 13.0, 1e-9);  // C(12,2)/13
+}
+
+TEST(Robustness, CompleteGraphEverythingAgrees) {
+  GraphBuilder b;
+  for (VertexId u = 0; u < 10; ++u)
+    for (VertexId v = u + 1; v < 10; ++v) b.AddEdge(u, v);
+  Graph g = b.Build();
+  for (int h = 2; h <= 5; ++h) {
+    CliqueOracle oracle(h);
+    DensestResult r = CoreExact(g, oracle);
+    EXPECT_EQ(r.vertices.size(), 10u) << h;
+    EXPECT_NEAR(r.density,
+                static_cast<double>(Binomial(10, h)) / 10.0, 1e-6)
+        << h;
+  }
+}
+
+TEST(Robustness, DeterministicResults) {
+  Graph g = gen::Rmat(2000, 12000, 0xD37);
+  CliqueOracle tri(3);
+  DensestResult a = CoreExact(g, tri);
+  DensestResult b = CoreExact(g, tri);
+  EXPECT_EQ(a.vertices, b.vertices);
+  EXPECT_EQ(a.instances, b.instances);
+  DensestResult c = CoreApp(g, tri);
+  DensestResult d = CoreApp(g, tri);
+  EXPECT_EQ(c.vertices, d.vertices);
+}
+
+TEST(Robustness, QueryDensestOnIsolatedVertex) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.EnsureVertices(5);  // vertices 3, 4 isolated
+  Graph g = b.Build();
+  CliqueOracle edge(2);
+  std::vector<VertexId> query = {4};
+  DensestResult r = QueryDensest(g, edge, query);
+  // The answer must contain the isolated anchor; best it can do is bundle
+  // the triangle with it: 3 edges / 4 vertices.
+  EXPECT_TRUE(std::find(r.vertices.begin(), r.vertices.end(), 4u) !=
+              r.vertices.end());
+  EXPECT_NEAR(r.density, 0.75, 1e-9);
+}
+
+TEST(Robustness, DensestAtLeastOnTinyGraphs) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  CliqueOracle edge(2);
+  EXPECT_EQ(DensestAtLeast(g, edge, 1).vertices.size(), 2u);
+  EXPECT_EQ(DensestAtLeast(g, edge, 2).vertices.size(), 2u);
+  EXPECT_EQ(DensestAtLeast(g, edge, 3).vertices.size(), 2u);  // best effort
+}
+
+}  // namespace
+}  // namespace dsd

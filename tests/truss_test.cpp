@@ -1,0 +1,146 @@
+// Tests for core/truss: known shapes, the defining invariant, nestedness,
+// and the k-core / k-truss / (k, Psi)-core family relation of Section 5.4.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/kcore.h"
+#include "core/truss.h"
+#include "dsd/motif_core.h"
+#include "dsd/motif_oracle.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+
+namespace dsd {
+namespace {
+
+Graph K(int n) {
+  GraphBuilder b;
+  for (VertexId u = 0; u < static_cast<VertexId>(n); ++u)
+    for (VertexId v = u + 1; v < static_cast<VertexId>(n); ++v)
+      b.AddEdge(u, v);
+  return b.Build();
+}
+
+TEST(Truss, CompleteGraph) {
+  // Every edge of K_n lies in n-2 triangles => the whole graph is the
+  // n-truss.
+  Graph g = K(6);
+  TrussDecomposition d = KTrussDecomposition(g);
+  EXPECT_EQ(d.kmax, 6u);
+  for (uint32_t t : d.truss) EXPECT_EQ(t, 6u);
+}
+
+TEST(Truss, TriangleFreeGraphIsTwoTruss) {
+  GraphBuilder b;
+  for (VertexId u = 0; u < 4; ++u)
+    for (VertexId v = 4; v < 8; ++v) b.AddEdge(u, v);  // bipartite
+  TrussDecomposition d = KTrussDecomposition(b.Build());
+  EXPECT_EQ(d.kmax, 2u);
+}
+
+TEST(Truss, TriangleWithTail) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  Graph g = b.Build();
+  TrussDecomposition d = KTrussDecomposition(g);
+  EXPECT_EQ(d.kmax, 3u);
+  for (size_t i = 0; i < d.edges.size(); ++i) {
+    bool tail = d.edges[i] == Edge{2, 3};
+    EXPECT_EQ(d.truss[i], tail ? 2u : 3u);
+  }
+  EXPECT_EQ(d.TrussVertices(3, g.NumVertices()),
+            (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(Truss, EmptyAndEdgeless) {
+  EXPECT_EQ(KTrussDecomposition(Graph()).kmax, 0u);
+  GraphBuilder b;
+  b.EnsureVertices(5);
+  EXPECT_EQ(KTrussDecomposition(b.Build()).kmax, 0u);
+}
+
+// The defining invariant: inside the k-truss (edges with truss >= k), every
+// surviving edge lies in >= k-2 triangles of the truss subgraph.
+void CheckTrussInvariant(const Graph& g, const TrussDecomposition& d,
+                         uint32_t k) {
+  std::vector<VertexId> members = d.TrussVertices(k, g.NumVertices());
+  if (members.empty()) return;
+  Subgraph sub = InducedSubgraph(g, members);
+  // Build the surviving edge set (parent ids) for membership checks.
+  std::vector<char> edge_in(d.edges.size(), 0);
+  for (size_t i = 0; i < d.edges.size(); ++i) edge_in[i] = d.truss[i] >= k;
+  // For each surviving edge, count common neighbors joined by surviving
+  // edges.
+  auto find_index = [&d](VertexId u, VertexId v) {
+    Edge key = NormalizeEdge(u, v);
+    auto it = std::lower_bound(d.edges.begin(), d.edges.end(), key);
+    return it != d.edges.end() && *it == key
+               ? static_cast<size_t>(it - d.edges.begin())
+               : d.edges.size();
+  };
+  for (size_t i = 0; i < d.edges.size(); ++i) {
+    if (!edge_in[i]) continue;
+    auto [u, v] = d.edges[i];
+    uint32_t triangles = 0;
+    for (VertexId w : g.Neighbors(u)) {
+      if (!g.HasEdge(v, w)) continue;
+      size_t uw = find_index(u, w);
+      size_t vw = find_index(v, w);
+      if (uw < d.edges.size() && vw < d.edges.size() && edge_in[uw] &&
+          edge_in[vw]) {
+        ++triangles;
+      }
+    }
+    EXPECT_GE(triangles + 2, k) << "edge (" << u << "," << v << ") at k=" << k;
+  }
+}
+
+class TrussInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrussInvariantTest, AllTrussesSatisfyDefinition) {
+  Graph g = gen::ErdosRenyi(40, 0.25, GetParam());
+  TrussDecomposition d = KTrussDecomposition(g);
+  for (uint32_t k = 3; k <= d.kmax; ++k) CheckTrussInvariant(g, d, k);
+}
+
+TEST_P(TrussInvariantTest, FamilyRelations) {
+  // Section 5.4's family: for any k, the k-truss's vertices sit inside the
+  // (k-1)-core, and the k-truss contains the ((k-2), triangle)-core's
+  // triangles... we check the robust direction: truss vertices ⊆ (k-1)-core.
+  Graph g = gen::ErdosRenyi(35, 0.3, GetParam() + 100);
+  TrussDecomposition truss = KTrussDecomposition(g);
+  CoreDecomposition core = KCoreDecomposition(g);
+  for (uint32_t k = 3; k <= truss.kmax; ++k) {
+    for (VertexId v : truss.TrussVertices(k, g.NumVertices())) {
+      EXPECT_GE(core.core[v] + 1, k) << "v=" << v << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrussInvariantTest, ::testing::Range(0, 10));
+
+TEST(Truss, NestedTrusses) {
+  Graph g = gen::PlantedClique(60, 0.08, 8, 3);
+  TrussDecomposition d = KTrussDecomposition(g);
+  for (uint32_t k = 3; k <= d.kmax; ++k) {
+    auto outer = d.TrussVertices(k - 1, g.NumVertices());
+    auto inner = d.TrussVertices(k, g.NumVertices());
+    EXPECT_TRUE(
+        std::includes(outer.begin(), outer.end(), inner.begin(), inner.end()))
+        << k;
+  }
+}
+
+TEST(Truss, PlantedCliqueHasMaxTruss) {
+  Graph g = gen::PlantedClique(100, 0.02, 10, 7);
+  TrussDecomposition d = KTrussDecomposition(g);
+  EXPECT_GE(d.kmax, 10u);  // K10 alone forces a 10-truss
+}
+
+}  // namespace
+}  // namespace dsd

@@ -1,0 +1,151 @@
+// Tests for util/: combinatorics, random, timer, status.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "util/combinatorics.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace dsd {
+namespace {
+
+TEST(Binomial, SmallValues) {
+  EXPECT_EQ(Binomial(0, 0), 1u);
+  EXPECT_EQ(Binomial(5, 0), 1u);
+  EXPECT_EQ(Binomial(5, 5), 1u);
+  EXPECT_EQ(Binomial(5, 1), 5u);
+  EXPECT_EQ(Binomial(5, 2), 10u);
+  EXPECT_EQ(Binomial(6, 3), 20u);
+  EXPECT_EQ(Binomial(10, 4), 210u);
+  EXPECT_EQ(Binomial(52, 5), 2598960u);
+}
+
+TEST(Binomial, KGreaterThanN) {
+  EXPECT_EQ(Binomial(3, 4), 0u);
+  EXPECT_EQ(Binomial(0, 1), 0u);
+}
+
+TEST(Binomial, Symmetry) {
+  for (uint64_t n = 0; n <= 30; ++n) {
+    for (uint64_t k = 0; k <= n; ++k) {
+      EXPECT_EQ(Binomial(n, k), Binomial(n, n - k)) << n << " " << k;
+    }
+  }
+}
+
+TEST(Binomial, PascalIdentity) {
+  for (uint64_t n = 1; n <= 40; ++n) {
+    for (uint64_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(Binomial(n, k), Binomial(n - 1, k - 1) + Binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(Binomial, LargeExactValue) {
+  // C(61, 30) is near the top of what uint64 holds exactly.
+  EXPECT_EQ(Binomial(60, 30), 118264581564861424ull);
+}
+
+TEST(Binomial, SaturatesOnOverflow) {
+  EXPECT_EQ(Binomial(1000, 500), std::numeric_limits<uint64_t>::max());
+  EXPECT_TRUE(BinomialOverflows(1000, 500));
+  EXPECT_FALSE(BinomialOverflows(60, 30));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BoundedCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  double first = timer.Seconds();
+  EXPECT_GE(first, 0.0);
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(timer.Seconds(), first);
+  timer.Reset();
+  EXPECT_LT(timer.Seconds(), 1.0);
+}
+
+TEST(Status, OkState) {
+  Status s = Status::Ok();
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorStates) {
+  Status invalid = Status::InvalidArgument("bad line");
+  EXPECT_FALSE(invalid.ok());
+  EXPECT_TRUE(invalid.IsInvalidArgument());
+  EXPECT_EQ(invalid.message(), "bad line");
+  EXPECT_EQ(invalid.ToString(), "InvalidArgument: bad line");
+
+  Status io = Status::IoError("missing file");
+  EXPECT_TRUE(io.IsIoError());
+  EXPECT_FALSE(io.IsInvalidArgument());
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> result(41);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 41);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> result(Status::IoError("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIoError());
+}
+
+}  // namespace
+}  // namespace dsd

@@ -1,0 +1,192 @@
+// dsd_cli — command-line densest subgraph discovery.
+//
+// Usage:
+//   dsd_cli --input graph.txt [--motif triangle] [--algo core-exact]
+//           [--query 3,17,42] [--min-size 20] [--eps 0.1] [--verbose]
+//   dsd_cli --demo            # run on a small generated graph
+//
+// Motifs: edge | triangle | <h>-clique (h in 2..9) | 2-star | 3-star |
+//         c3-star | diamond | 2-triangle | 3-triangle | basket
+// Algorithms: exact | core-exact | peel | inc-app | core-app | stream |
+//             at-least (needs --min-size) | query (needs --query)
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsd/dsd.h"
+
+namespace {
+
+using dsd::VertexId;
+
+struct Options {
+  std::string input;
+  bool demo = false;
+  std::string motif = "edge";
+  std::string algo = "core-exact";
+  std::vector<VertexId> query;
+  VertexId min_size = 0;
+  double eps = 0.1;
+  bool verbose = false;
+};
+
+[[noreturn]] void Usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(
+      stderr,
+      "usage: dsd_cli (--input FILE | --demo) [--motif M] [--algo A]\n"
+      "               [--query v1,v2,...] [--min-size K] [--eps E] "
+      "[--verbose]\n"
+      "  motifs:     edge triangle <h>-clique 2-star 3-star c3-star diamond\n"
+      "              2-triangle 3-triangle basket\n"
+      "  algorithms: exact core-exact peel inc-app core-app stream at-least "
+      "query\n");
+  std::exit(2);
+}
+
+std::vector<VertexId> ParseIdList(const std::string& text) {
+  std::vector<VertexId> ids;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    ids.push_back(
+        static_cast<VertexId>(std::stoul(text.substr(pos, comma - pos))));
+    pos = comma + 1;
+  }
+  return ids;
+}
+
+Options ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--input") {
+      options.input = next();
+    } else if (arg == "--demo") {
+      options.demo = true;
+    } else if (arg == "--motif") {
+      options.motif = next();
+    } else if (arg == "--algo") {
+      options.algo = next();
+    } else if (arg == "--query") {
+      options.query = ParseIdList(next());
+    } else if (arg == "--min-size") {
+      options.min_size = static_cast<VertexId>(std::stoul(next()));
+    } else if (arg == "--eps") {
+      options.eps = std::stod(next());
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(nullptr);
+    } else {
+      Usage(("unknown flag " + arg).c_str());
+    }
+  }
+  if (options.input.empty() && !options.demo) {
+    Usage("one of --input or --demo is required");
+  }
+  return options;
+}
+
+std::unique_ptr<dsd::MotifOracle> MakeOracle(const std::string& name) {
+  if (name == "edge") return std::make_unique<dsd::CliqueOracle>(2);
+  if (name == "triangle") return std::make_unique<dsd::CliqueOracle>(3);
+  for (int h = 2; h <= 9; ++h) {
+    if (name == std::to_string(h) + "-clique") {
+      return std::make_unique<dsd::CliqueOracle>(h);
+    }
+  }
+  std::map<std::string, dsd::Pattern (*)()> patterns = {
+      {"2-star", &dsd::Pattern::TwoStar},
+      {"3-star", &dsd::Pattern::ThreeStar},
+      {"c3-star", &dsd::Pattern::C3Star},
+      {"diamond", &dsd::Pattern::Diamond},
+      {"2-triangle", &dsd::Pattern::TwoTriangle},
+      {"3-triangle", &dsd::Pattern::ThreeTriangle},
+      {"basket", &dsd::Pattern::Basket},
+  };
+  auto it = patterns.find(name);
+  if (it == patterns.end()) Usage(("unknown motif " + name).c_str());
+  return std::make_unique<dsd::PatternOracle>(it->second());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options = ParseArgs(argc, argv);
+
+  dsd::Graph graph;
+  if (options.demo) {
+    graph = dsd::gen::PlantedClique(500, 0.01, 15, 7);
+    std::printf("# demo graph (planted K15 in G(500, 0.01))\n");
+  } else {
+    dsd::StatusOr<dsd::Graph> loaded = dsd::io::LoadEdgeList(options.input);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(loaded).value();
+  }
+  std::printf("# graph: n=%u m=%llu\n", graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumEdges()));
+
+  std::unique_ptr<dsd::MotifOracle> oracle = MakeOracle(options.motif);
+  for (VertexId q : options.query) {
+    if (q >= graph.NumVertices()) {
+      std::fprintf(stderr, "error: query vertex %u out of range\n", q);
+      return 1;
+    }
+  }
+
+  dsd::DensestResult result;
+  if (options.algo == "exact") {
+    result = dsd::Exact(graph, *oracle);
+  } else if (options.algo == "core-exact") {
+    result = dsd::CoreExact(graph, *oracle);
+  } else if (options.algo == "peel") {
+    result = dsd::PeelApp(graph, *oracle);
+  } else if (options.algo == "inc-app") {
+    result = dsd::IncApp(graph, *oracle);
+  } else if (options.algo == "core-app") {
+    result = dsd::CoreApp(graph, *oracle);
+  } else if (options.algo == "stream") {
+    result = dsd::StreamApp(graph, *oracle, options.eps);
+  } else if (options.algo == "at-least") {
+    if (options.min_size == 0) Usage("--algo at-least needs --min-size");
+    result = dsd::DensestAtLeast(graph, *oracle, options.min_size);
+  } else if (options.algo == "query") {
+    if (options.query.empty()) Usage("--algo query needs --query");
+    result = dsd::QueryDensest(graph, *oracle, options.query);
+  } else {
+    Usage(("unknown algorithm " + options.algo).c_str());
+  }
+
+  std::printf("motif      %s\n", oracle->Name().c_str());
+  std::printf("algorithm  %s\n", options.algo.c_str());
+  std::printf("density    %.6f\n", result.density);
+  std::printf("instances  %llu\n",
+              static_cast<unsigned long long>(result.instances));
+  std::printf("vertices   %zu\n", result.vertices.size());
+  std::printf("time       %.3f ms\n", result.stats.total_seconds * 1e3);
+  if (options.verbose) {
+    std::printf("members   ");
+    for (VertexId v : result.vertices) std::printf(" %u", v);
+    std::printf("\n");
+    if (result.stats.kmax > 0) {
+      std::printf("kmax       %u\n", result.stats.kmax);
+    }
+    if (result.stats.binary_search_iterations > 0) {
+      std::printf("iterations %d\n", result.stats.binary_search_iterations);
+    }
+  }
+  return 0;
+}
