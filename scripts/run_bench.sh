@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Bench runner: build every bench target and run them, teeing each report to
+# bench-results/<target>.txt. Pass target names to run a subset.
+#
+# Usage: scripts/run_bench.sh [bench_fig08_exact bench_micro ...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BENCH_BUILD_DIR:-build-bench}"
+OUT_DIR="${BENCH_OUT_DIR:-bench-results}"
+
+cmake -B "$BUILD_DIR" -S . -DDSD_BUILD_BENCH=ON -DDSD_BUILD_TESTS=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+if [[ $# -gt 0 ]]; then
+  targets=("$@")
+else
+  targets=()
+  for bin in "$BUILD_DIR"/bench/bench_*; do
+    [[ -x $bin && -f $bin ]] && targets+=("$(basename "$bin")")
+  done
+fi
+
+mkdir -p "$OUT_DIR"
+for target in "${targets[@]}"; do
+  bin="$BUILD_DIR/bench/$target"
+  if [[ ! -x $bin ]]; then
+    echo "error: no such bench target: $target" >&2
+    exit 1
+  fi
+  echo "==> $target"
+  "$bin" | tee "$OUT_DIR/$target.txt"
+done
+
+echo "Reports written to $OUT_DIR/"

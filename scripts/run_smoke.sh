@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 smoke runner: configure, build, and run the full test suite from a
+# clean tree. Mirrors the command CI enforces on every push.
+#
+# Usage: scripts/run_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

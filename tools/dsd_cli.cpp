@@ -9,11 +9,14 @@
 //         c3-star | diamond | 2-triangle | 3-triangle | basket
 // Algorithms: exact | core-exact | peel | inc-app | core-app | stream |
 //             at-least (needs --min-size) | query (needs --query)
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -35,9 +38,10 @@ struct Options {
 };
 
 [[noreturn]] void Usage(const char* error) {
+  std::FILE* out = error != nullptr ? stderr : stdout;
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(
-      stderr,
+      out,
       "usage: dsd_cli (--input FILE | --demo) [--motif M] [--algo A]\n"
       "               [--query v1,v2,...] [--min-size K] [--eps E] "
       "[--verbose]\n"
@@ -45,7 +49,35 @@ struct Options {
       "              2-triangle 3-triangle basket\n"
       "  algorithms: exact core-exact peel inc-app core-app stream at-least "
       "query\n");
-  std::exit(2);
+  std::exit(error == nullptr ? 0 : 2);
+}
+
+VertexId ParseVertexId(const std::string& flag, const std::string& text) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    Usage((flag + " expects a non-negative integer, got '" + text + "'")
+              .c_str());
+  }
+  try {
+    unsigned long value = std::stoul(text);
+    if (value > std::numeric_limits<VertexId>::max()) {
+      throw std::out_of_range(text);
+    }
+    return static_cast<VertexId>(value);
+  } catch (const std::out_of_range&) {
+    Usage((flag + " value out of range: '" + text + "'").c_str());
+  }
+}
+
+double ParseDouble(const std::string& flag, const std::string& text) {
+  try {
+    size_t used = 0;
+    double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    Usage((flag + " expects a number, got '" + text + "'").c_str());
+  }
 }
 
 std::vector<VertexId> ParseIdList(const std::string& text) {
@@ -54,10 +86,10 @@ std::vector<VertexId> ParseIdList(const std::string& text) {
   while (pos < text.size()) {
     size_t comma = text.find(',', pos);
     if (comma == std::string::npos) comma = text.size();
-    ids.push_back(
-        static_cast<VertexId>(std::stoul(text.substr(pos, comma - pos))));
+    ids.push_back(ParseVertexId("--query", text.substr(pos, comma - pos)));
     pos = comma + 1;
   }
+  if (ids.empty()) Usage("--query expects a comma-separated vertex list");
   return ids;
 }
 
@@ -80,9 +112,12 @@ Options ParseArgs(int argc, char** argv) {
     } else if (arg == "--query") {
       options.query = ParseIdList(next());
     } else if (arg == "--min-size") {
-      options.min_size = static_cast<VertexId>(std::stoul(next()));
+      options.min_size = ParseVertexId("--min-size", next());
     } else if (arg == "--eps") {
-      options.eps = std::stod(next());
+      options.eps = ParseDouble("--eps", next());
+      if (!(options.eps > 0.0) || !std::isfinite(options.eps)) {
+        Usage("--eps expects a finite value > 0");
+      }
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else if (arg == "--help" || arg == "-h") {
