@@ -5,13 +5,12 @@
 // beat Nucleus and PeelApp consistently; CoreApp is the fastest, up to two
 // orders of magnitude over PeelApp; IncApp averages ~0.9x PeelApp's time.
 #include <cstdio>
+#include <string>
 
 #include "core/nucleus.h"
-#include "dsd/core_app.h"
-#include "dsd/inc_app.h"
-#include "dsd/peel_app.h"
 #include "harness/datasets.h"
 #include "harness/report.h"
+#include "harness/runner.h"
 #include "util/timer.h"
 
 namespace dsd::bench {
@@ -26,18 +25,18 @@ void Run() {
     Table table(
         {"h-clique", "Nucleus", "PeelApp", "IncApp", "CoreApp", "kmax"});
     for (int h = 2; h <= 6; ++h) {
-      CliqueOracle oracle(h);
+      const std::string motif = std::to_string(h) + "-clique";
       Timer nucleus_timer;
       NucleusDecomposition nucleus = NucleusCliqueCores(g, h);
       double nucleus_seconds = nucleus_timer.Seconds();
-      DensestResult peel = PeelApp(g, oracle);
-      DensestResult inc = IncApp(g, oracle);
-      DensestResult core = CoreApp(g, oracle);
-      table.AddRow({oracle.Name(), FormatSeconds(nucleus_seconds),
-                    FormatSeconds(peel.stats.total_seconds),
-                    FormatSeconds(inc.stats.total_seconds),
-                    FormatSeconds(core.stats.total_seconds),
-                    std::to_string(core.stats.kmax)});
+      SolveResponse peel = MustSolve(g, "peel", motif);
+      SolveResponse inc = MustSolve(g, "inc-app", motif);
+      SolveResponse core = MustSolve(g, "core-app", motif);
+      table.AddRow({peel.stats.motif, FormatSeconds(nucleus_seconds),
+                    FormatSeconds(peel.result.stats.total_seconds),
+                    FormatSeconds(inc.result.stats.total_seconds),
+                    FormatSeconds(core.result.stats.total_seconds),
+                    std::to_string(core.result.stats.kmax)});
     }
     table.Print();
   }

@@ -7,12 +7,12 @@
 // cap the baseline by skipping configurations whose whole-graph flow network
 // would exceed a node budget, and report "capped".)
 #include <cstdio>
+#include <string>
 
 #include "clique/clique_enumerator.h"
-#include "dsd/core_exact.h"
-#include "dsd/exact.h"
 #include "harness/datasets.h"
 #include "harness/report.h"
+#include "harness/runner.h"
 
 namespace dsd::bench {
 namespace {
@@ -27,24 +27,24 @@ void Run() {
            std::to_string(g.NumEdges()) + ")");
     Table table({"h-clique", "Exact", "CoreExact", "speedup", "rho_opt"});
     for (int h = 2; h <= 6; ++h) {
-      CliqueOracle oracle(h);
+      const std::string motif = std::to_string(h) + "-clique";
       // Guard the baseline: its network holds one node per (h-1)-clique.
       uint64_t lambda =
           h == 2 ? g.NumVertices() : CliqueEnumerator(g, h - 1).Count();
-      DensestResult core = CoreExact(g, oracle);
+      SolveResponse core = MustSolve(g, "core-exact", motif);
       std::string exact_cell = "capped";
       std::string speedup_cell = "-";
       if (g.NumVertices() + lambda + 2 <= kExactNodeBudget) {
-        DensestResult exact = Exact(g, oracle);
-        exact_cell = FormatSeconds(exact.stats.total_seconds);
+        SolveResponse exact = MustSolve(g, "exact", motif);
+        exact_cell = FormatSeconds(exact.result.stats.total_seconds);
         speedup_cell = FormatDouble(
-            exact.stats.total_seconds /
-                std::max(core.stats.total_seconds, 1e-9),
+            exact.result.stats.total_seconds /
+                std::max(core.result.stats.total_seconds, 1e-9),
             1) + "x";
       }
-      table.AddRow({oracle.Name(), exact_cell,
-                    FormatSeconds(core.stats.total_seconds), speedup_cell,
-                    FormatDouble(core.density)});
+      table.AddRow({core.stats.motif, exact_cell,
+                    FormatSeconds(core.result.stats.total_seconds),
+                    speedup_cell, FormatDouble(core.result.density)});
     }
     table.Print();
   }

@@ -6,12 +6,11 @@
 // Paper's claim to reproduce: R is far above T and close to 1.0 in most
 // cases; CoreApp averages ~0.956x PeelApp's ratio.
 #include <cstdio>
+#include <string>
 
-#include "dsd/core_app.h"
-#include "dsd/core_exact.h"
-#include "dsd/peel_app.h"
 #include "harness/datasets.h"
 #include "harness/report.h"
+#include "harness/runner.h"
 
 namespace dsd::bench {
 namespace {
@@ -23,17 +22,17 @@ void Run() {
     Banner("Figure 11: approximation ratios, " + spec.name);
     Table table({"h-clique", "T=1/h", "R(PeelApp)", "R(CoreApp)", "rho_opt"});
     for (int h = 2; h <= 6; ++h) {
-      CliqueOracle oracle(h);
-      DensestResult opt = CoreExact(g, oracle);
-      DensestResult peel = PeelApp(g, oracle);
-      DensestResult core = CoreApp(g, oracle);
+      const std::string motif = std::to_string(h) + "-clique";
+      DensestResult opt = MustSolve(g, "core-exact", motif).result;
+      DensestResult peel = MustSolve(g, "peel", motif).result;
+      SolveResponse core = MustSolve(g, "core-app", motif);
       std::string rp = opt.density > 0
                            ? FormatDouble(peel.density / opt.density)
                            : "-";
       std::string rc = opt.density > 0
-                           ? FormatDouble(core.density / opt.density)
+                           ? FormatDouble(core.result.density / opt.density)
                            : "-";
-      table.AddRow({oracle.Name(), FormatDouble(1.0 / h), rp, rc,
+      table.AddRow({core.stats.motif, FormatDouble(1.0 / h), rp, rc,
                     FormatDouble(opt.density)});
     }
     table.Print();

@@ -5,11 +5,12 @@
 // the exact algorithm pays for min-cut computations on top of the core
 // machinery.
 #include <cstdio>
+#include <string>
+#include <utility>
 
-#include "dsd/core_app.h"
-#include "dsd/core_exact.h"
 #include "harness/datasets.h"
 #include "harness/report.h"
+#include "harness/runner.h"
 
 namespace dsd::bench {
 namespace {
@@ -22,11 +23,13 @@ void Run() {
     Table table({"h-clique", "CoreExact", "CoreApp", "ratio",
                  "approx/opt density"});
     for (int h = 2; h <= 6; ++h) {
-      CliqueOracle oracle(h);
-      DensestResult exact = CoreExact(g, oracle);
-      DensestResult approx = CoreApp(g, oracle);
+      const std::string motif = std::to_string(h) + "-clique";
+      SolveResponse exact_response = MustSolve(g, "core-exact", motif);
+      DensestResult exact = std::move(exact_response.result);
+      DensestResult approx = MustSolve(g, "core-app", motif).result;
       table.AddRow(
-          {oracle.Name(), FormatSeconds(exact.stats.total_seconds),
+          {exact_response.stats.motif,
+           FormatSeconds(exact.stats.total_seconds),
            FormatSeconds(approx.stats.total_seconds),
            FormatDouble(exact.stats.total_seconds /
                             std::max(approx.stats.total_seconds, 1e-9),

@@ -7,12 +7,10 @@
 // general patterns thanks to the appendix-D kernels.
 #include <cstdio>
 
-#include "dsd/core_app.h"
-#include "dsd/inc_app.h"
-#include "dsd/peel_app.h"
 #include "graph/generators.h"
 #include "harness/datasets.h"
 #include "harness/report.h"
+#include "harness/runner.h"
 
 namespace dsd::bench {
 namespace {
@@ -42,14 +40,17 @@ void Run() {
            std::to_string(g.NumEdges()) + ")");
     Table table({"pattern", "PeelApp", "IncApp", "CoreApp", "kmax"});
     for (const Pattern& p : patterns) {
+      // Oracle-taking MustSolve: these are Pattern objects, so the caller
+      // supplies the PatternOracle and the request only names the algorithm.
       PatternOracle oracle(p);
-      DensestResult peel = PeelApp(g, oracle);
-      DensestResult inc = IncApp(g, oracle);
-      DensestResult core = CoreApp(g, oracle);
-      table.AddRow({p.name(), FormatSeconds(peel.stats.total_seconds),
-                    FormatSeconds(inc.stats.total_seconds),
-                    FormatSeconds(core.stats.total_seconds),
-                    std::to_string(core.stats.kmax)});
+      SolveResponse peel = MustSolve(g, "peel", oracle);
+      SolveResponse inc = MustSolve(g, "inc-app", oracle);
+      SolveResponse core = MustSolve(g, "core-app", oracle);
+      table.AddRow({p.name(),
+                    FormatSeconds(peel.result.stats.total_seconds),
+                    FormatSeconds(inc.result.stats.total_seconds),
+                    FormatSeconds(core.result.stats.total_seconds),
+                    std::to_string(core.result.stats.kmax)});
     }
     table.Print();
   }

@@ -1,0 +1,37 @@
+#include "harness/runner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace dsd::bench {
+
+namespace {
+
+SolveResponse Unwrap(StatusOr<SolveResponse> solved) {
+  if (!solved.ok()) {
+    std::fprintf(stderr, "bench solve failed: %s\n",
+                 solved.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(solved).value();
+}
+
+}  // namespace
+
+SolveResponse MustSolve(const Graph& g, const std::string& algorithm,
+                        const std::string& motif) {
+  SolveRequest request;
+  request.algorithm = algorithm;
+  request.motif = motif;
+  return Unwrap(Solve(g, request));
+}
+
+SolveResponse MustSolve(const Graph& g, const std::string& algorithm,
+                        const MotifOracle& oracle) {
+  SolveRequest request;
+  request.algorithm = algorithm;
+  return Unwrap(Solve(g, oracle, request));
+}
+
+}  // namespace dsd::bench

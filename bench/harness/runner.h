@@ -1,0 +1,29 @@
+// Bench-side shim over the unified dsd::Solve API.
+//
+// The figure/table drivers have no error path of their own — a request that
+// fails validation is a bug in the bench — so MustSolve unwraps the
+// StatusOr, aborting with the status message on failure, and hands back the
+// response for timing/density columns.
+#ifndef DSD_BENCH_HARNESS_RUNNER_H_
+#define DSD_BENCH_HARNESS_RUNNER_H_
+
+#include <string>
+
+#include "dsd/solver.h"
+#include "graph/graph.h"
+
+namespace dsd::bench {
+
+/// Runs `algorithm` x `motif` (names as understood by the SolverRegistry /
+/// ParseMotif) on `g`; exits with a message on a non-OK status.
+SolveResponse MustSolve(const Graph& g, const std::string& algorithm,
+                        const std::string& motif);
+
+/// Same with a caller-supplied oracle (for Pattern objects or ablation
+/// oracles the motif-name vocabulary cannot express).
+SolveResponse MustSolve(const Graph& g, const std::string& algorithm,
+                        const MotifOracle& oracle);
+
+}  // namespace dsd::bench
+
+#endif  // DSD_BENCH_HARNESS_RUNNER_H_

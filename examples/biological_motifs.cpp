@@ -2,8 +2,14 @@
 // interaction-style network, different patterns select functionally
 // different dense subnetworks. We compare the PDS for five motifs and show
 // how much their vertex sets overlap.
+//
+// Uses the oracle-taking dsd::Solve overload: the motifs here are Pattern
+// objects (including ones, like the edge-as-pattern, that deliberately run
+// the general PDS machinery), so the caller supplies the PatternOracle and
+// the request only names the algorithm.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "dsd/dsd.h"
@@ -45,10 +51,20 @@ int main() {
       {"signalling loops", dsd::Pattern::Diamond()},
   };
 
+  dsd::SolveRequest request;
+  request.algorithm = "core-exact";
+
   std::vector<std::vector<dsd::VertexId>> answers;
   for (const Motif& motif : motifs) {
     dsd::PatternOracle oracle(motif.pattern);
-    dsd::DensestResult pds = dsd::CorePExact(graph, oracle);
+    dsd::StatusOr<dsd::SolveResponse> solved =
+        dsd::Solve(graph, oracle, request);
+    if (!solved.ok()) {
+      std::fprintf(stderr, "solve failed: %s\n",
+                   solved.status().ToString().c_str());
+      return 1;
+    }
+    const dsd::DensestResult& pds = solved.value().result;
     std::printf("%-12s (%-28s): |V|=%-3zu rho=%.3f\n",
                 motif.pattern.name().c_str(), motif.functional_class,
                 pds.vertices.size(), pds.density);

@@ -2,11 +2,13 @@
 // case, Section 1): iteratively extract triangle-densest subgraphs to peel
 // off tightly collaborating groups one at a time.
 //
-// Each round finds the current CDS, reports it as a community, removes its
-// vertices, and repeats — the standard "densest-subgraph peeling" recipe for
-// overlapping-free community extraction.
+// Each round finds the current CDS through dsd::Solve, reports it as a
+// community, removes its vertices, and repeats — the standard
+// "densest-subgraph peeling" recipe for overlapping-free community
+// extraction.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "dsd/dsd.h"
@@ -28,7 +30,9 @@ int main() {
   std::printf("collaboration network: n=%u m=%llu\n", graph.NumVertices(),
               static_cast<unsigned long long>(graph.NumEdges()));
 
-  dsd::CliqueOracle triangle(3);
+  dsd::SolveRequest request;
+  request.algorithm = "core-exact";
+  request.motif = "triangle";
   std::vector<char> removed(graph.NumVertices(), 0);
 
   for (int round = 1; round <= 4; ++round) {
@@ -38,7 +42,14 @@ int main() {
       if (!removed[v]) keep.push_back(v);
     }
     dsd::Subgraph residual = dsd::InducedSubgraph(graph, keep);
-    dsd::DensestResult community = dsd::CoreExact(residual.graph, triangle);
+    dsd::StatusOr<dsd::SolveResponse> solved =
+        dsd::Solve(residual.graph, request);
+    if (!solved.ok()) {
+      std::fprintf(stderr, "solve failed: %s\n",
+                   solved.status().ToString().c_str());
+      return 1;
+    }
+    dsd::DensestResult community = std::move(solved.value().result);
     if (community.vertices.empty() || community.density < 1.0) {
       std::printf("round %d: no further dense community (density %.3f)\n",
                   round, community.density);

@@ -4,8 +4,11 @@
 // community-search line of work.
 //
 // We plant two communities, anchor queries inside each, across both, and on
-// a peripheral vertex, and show how the anchored optimum responds.
+// a peripheral vertex, and show how the anchored optimum responds. Runs go
+// through dsd::Solve: the anchored variants are the "query" algorithm with
+// the anchors as request seeds.
 #include <cstdio>
+#include <cstdlib>
 
 #include "dsd/dsd.h"
 #include "util/random.h"
@@ -35,6 +38,17 @@ dsd::Graph TwoCommunityGraph() {
   return builder.Build();
 }
 
+dsd::DensestResult MustSolve(const dsd::Graph& graph,
+                             const dsd::SolveRequest& request) {
+  dsd::StatusOr<dsd::SolveResponse> solved = dsd::Solve(graph, request);
+  if (!solved.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n",
+                 solved.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(solved.value().result);
+}
+
 void Report(const char* label, const dsd::DensestResult& result) {
   int in_a = 0;
   int in_b = 0;
@@ -53,24 +67,26 @@ int main() {
   std::printf("graph: n=%u m=%llu (community A = 0..13, B = 14..29)\n",
               graph.NumVertices(),
               static_cast<unsigned long long>(graph.NumEdges()));
-  dsd::CliqueOracle edge(2);
+  dsd::SolveRequest request;
+  request.motif = "edge";
 
   // Unanchored optimum: the tighter community A wins.
-  Report("no anchor (global CDS)", dsd::CoreExact(graph, edge));
+  request.algorithm = "core-exact";
+  Report("no anchor (global CDS)", MustSolve(graph, request));
 
   // Anchor inside A / inside B: each pulls out its own community.
-  std::vector<dsd::VertexId> in_a = {3};
-  Report("anchored at 3 (in A)", dsd::QueryDensest(graph, edge, in_a));
-  std::vector<dsd::VertexId> in_b = {17, 25};
-  Report("anchored at {17,25} (in B)", dsd::QueryDensest(graph, edge, in_b));
+  request.algorithm = "query";
+  request.seeds = {3};
+  Report("anchored at 3 (in A)", MustSolve(graph, request));
+  request.seeds = {17, 25};
+  Report("anchored at {17,25} (in B)", MustSolve(graph, request));
 
   // Anchors spanning both communities force a merged, thinner answer.
-  std::vector<dsd::VertexId> both = {3, 17};
-  Report("anchored at {3,17} (A+B)", dsd::QueryDensest(graph, edge, both));
+  request.seeds = {3, 17};
+  Report("anchored at {3,17} (A+B)", MustSolve(graph, request));
 
   // A peripheral anchor drags the density down further.
-  std::vector<dsd::VertexId> outside = {350};
-  Report("anchored at 350 (periphery)",
-         dsd::QueryDensest(graph, edge, outside));
+  request.seeds = {350};
+  Report("anchored at 350 (periphery)", MustSolve(graph, request));
   return 0;
 }

@@ -4,8 +4,11 @@
 //
 // We hide a 16-vertex near-clique (90% of edges present) inside a graph that
 // also has a larger but sparser dense region, then show how the CDS sharpens
-// onto the near-clique as h grows.
+// onto the near-clique as h grows. Each h is one dsd::Solve call with the
+// "<h>-clique" motif name.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "dsd/dsd.h"
 #include "util/random.h"
@@ -48,8 +51,16 @@ int main() {
               static_cast<unsigned long long>(graph.NumEdges()));
 
   for (int h = 2; h <= 6; ++h) {
-    dsd::CliqueOracle oracle(h);
-    dsd::DensestResult cds = dsd::CoreExact(graph, oracle);
+    dsd::SolveRequest request;
+    request.algorithm = "core-exact";
+    request.motif = std::to_string(h) + "-clique";
+    dsd::StatusOr<dsd::SolveResponse> solved = dsd::Solve(graph, request);
+    if (!solved.ok()) {
+      std::fprintf(stderr, "solve failed: %s\n",
+                   solved.status().ToString().c_str());
+      return 1;
+    }
+    const dsd::DensestResult& cds = solved.value().result;
     size_t inside = 0;
     for (dsd::VertexId v : cds.vertices) {
       if (v >= 100 && v < 116) ++inside;

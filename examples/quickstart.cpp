@@ -1,10 +1,13 @@
-// Quickstart: load (or build) a graph, find its densest subgraphs.
+// Quickstart: load (or build) a graph, find its densest subgraphs through
+// the unified dsd::Solve API — name an algorithm and a motif, get a
+// response (or a Status explaining what was wrong with the request).
 //
 //   ./quickstart [edge_list.txt]
 //
 // Without an argument, a small demo graph is generated. With a path, the
 // file is parsed as a whitespace-separated edge list (SNAP format).
 #include <cstdio>
+#include <cstdlib>
 
 #include "dsd/dsd.h"
 
@@ -16,7 +19,18 @@ dsd::Graph DemoGraph() {
                                  /*clique_size=*/12, /*seed=*/42);
 }
 
-void PrintResult(const char* label, const dsd::DensestResult& result) {
+void SolveAndPrint(const dsd::Graph& graph, const char* label,
+                   const char* algorithm, const char* motif) {
+  dsd::SolveRequest request;
+  request.algorithm = algorithm;
+  request.motif = motif;
+  dsd::StatusOr<dsd::SolveResponse> solved = dsd::Solve(graph, request);
+  if (!solved.ok()) {
+    std::fprintf(stderr, "%s: %s\n", label,
+                 solved.status().ToString().c_str());
+    std::exit(1);
+  }
+  const dsd::DensestResult& result = solved.value().result;
   std::printf("%-22s density=%-8.3f vertices=%zu instances=%llu (%.2f ms)\n",
               label, result.density, result.vertices.size(),
               static_cast<unsigned long long>(result.instances),
@@ -42,17 +56,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(graph.NumEdges()));
 
   // 1) Edge-densest subgraph (the classic problem), exact.
-  dsd::CliqueOracle edge(2);
-  PrintResult("EDS (CoreExact)", dsd::CoreExact(graph, edge));
+  SolveAndPrint(graph, "EDS (core-exact)", "core-exact", "edge");
 
   // 2) Triangle-densest subgraph, exact and approximate.
-  dsd::CliqueOracle triangle(3);
-  PrintResult("triangle (CoreExact)", dsd::CoreExact(graph, triangle));
-  PrintResult("triangle (CoreApp)", dsd::CoreApp(graph, triangle));
+  SolveAndPrint(graph, "triangle (core-exact)", "core-exact", "triangle");
+  SolveAndPrint(graph, "triangle (core-app)", "core-app", "triangle");
 
   // 3) Pattern-densest subgraph: the diamond (4-cycle) motif.
-  dsd::PatternOracle diamond(dsd::Pattern::Diamond());
-  PrintResult("diamond (CorePExact)", dsd::CorePExact(graph, diamond));
+  SolveAndPrint(graph, "diamond (core-exact)", "core-exact", "diamond");
 
   return 0;
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Registry/CLI drift guard: enumerate the algorithms the CLI's registry
+# actually exposes and run each one on --demo. A solver registered without
+# CLI support (or renamed without updating the demo arguments below) fails
+# here, in tier-1, instead of in a user's hands.
+#
+# Usage: scripts/cli_registry_smoke.sh /path/to/dsd_cli
+set -euo pipefail
+
+CLI="${1:?usage: cli_registry_smoke.sh /path/to/dsd_cli}"
+
+"$CLI" --list-motifs > /dev/null
+
+ALGOS="$("$CLI" --list-algos)"
+[ -n "$ALGOS" ] || { echo "error: --list-algos printed nothing" >&2; exit 1; }
+
+for algo in $ALGOS; do
+  case "$algo" in
+    at-least) args=(--min-size 20) ;;
+    query)    args=(--query 1,2,3) ;;
+    *)        args=() ;;
+  esac
+  echo "== $algo =="
+  "$CLI" --demo --algo "$algo" "${args[@]+"${args[@]}"}"
+done

@@ -10,4 +10,9 @@ BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# Registry/CLI drift guard: every algorithm the registry exposes must run on
+# --demo (also registered in CTest as cli_registry_smoke).
+scripts/cli_registry_smoke.sh "$BUILD_DIR/tools/dsd_cli" > /dev/null
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -1,13 +1,31 @@
 // Umbrella header: the library's public API in one include.
 //
+// The primary entry point is the unified request/response API of
+// dsd/solver.h — describe the run declaratively, get back a response or a
+// Status saying what was wrong (the library never exits or throws on a bad
+// request):
+//
 //   #include "dsd/dsd.h"
 //
 //   dsd::Graph g = ...;                       // graph/ substrate
+//   dsd::SolveRequest request;
+//   request.algorithm = "core-exact";         // see SolverRegistry::Global()
+//   request.motif = "triangle";               // see dsd::KnownMotifNames()
+//   dsd::StatusOr<dsd::SolveResponse> r = dsd::Solve(g, request);
+//   if (r.ok()) { /* r.value().result is the densest subgraph */ }
+//
+// Migration note: the per-algorithm free functions remain supported for
+// callers that already hold a MotifOracle and want an algorithm's own
+// options struct (CoreExactOptions ablation toggles, CoreAppOptions):
+//
 //   dsd::CliqueOracle triangle(3);            // CDS: h-clique density
 //   auto exact  = dsd::CoreExact(g, triangle);
 //   auto approx = dsd::CoreApp(g, triangle);
 //   dsd::PatternOracle diamond(dsd::Pattern::Diamond());
 //   auto pds    = dsd::CorePExact(g, diamond);  // PDS: pattern density
+//
+// New call sites should prefer dsd::Solve; an oracle-taking overload covers
+// motifs the name vocabulary cannot express.
 #ifndef DSD_DSD_DSD_H_
 #define DSD_DSD_DSD_H_
 
@@ -27,6 +45,7 @@
 #include "dsd/peel_app.h"            // IWYU pragma: export
 #include "dsd/query_densest.h"       // IWYU pragma: export
 #include "dsd/result.h"              // IWYU pragma: export
+#include "dsd/solver.h"              // IWYU pragma: export
 #include "dsd/top_k.h"               // IWYU pragma: export
 #include "graph/builder.h"           // IWYU pragma: export
 #include "graph/connectivity.h"      // IWYU pragma: export

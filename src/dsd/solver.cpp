@@ -1,0 +1,323 @@
+#include "dsd/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "dsd/core_app.h"
+#include "dsd/core_exact.h"
+#include "dsd/exact.h"
+#include "dsd/extensions.h"
+#include "dsd/inc_app.h"
+#include "dsd/peel_app.h"
+#include "dsd/query_densest.h"
+#include "parallel/parallel_for.h"
+#include "pattern/pattern.h"
+#include "util/timer.h"
+
+namespace dsd {
+
+namespace {
+
+// The motif-name vocabulary. ParseMotif and KnownMotifNames both derive
+// from this table and the [kMinClique, kMaxClique] range so the parser and
+// the listing cannot drift apart.
+constexpr int kMinClique = 2;
+constexpr int kMaxClique = 9;
+
+struct NamedPattern {
+  const char* name;
+  Pattern (*make)();
+};
+
+constexpr NamedPattern kNamedPatterns[] = {
+    {"2-star", &Pattern::TwoStar},
+    {"3-star", &Pattern::ThreeStar},
+    {"c3-star", &Pattern::C3Star},
+    {"diamond", &Pattern::Diamond},
+    {"2-triangle", &Pattern::TwoTriangle},
+    {"3-triangle", &Pattern::ThreeTriangle},
+    {"basket", &Pattern::Basket},
+};
+
+using RunFn = DensestResult (*)(const Graph&, const MotifOracle&,
+                                const SolveRequest&);
+using ValidateFn = Status (*)(const Graph&, const SolveRequest&);
+
+/// Adapter turning a (run, validate) function pair into a Solver, so the
+/// built-in algorithms need no class each.
+class FunctionSolver : public Solver {
+ public:
+  FunctionSolver(std::string name, std::string description, RunFn run,
+                 ValidateFn validate)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        run_(run),
+        validate_(validate) {}
+
+  std::string Name() const override { return name_; }
+  std::string Description() const override { return description_; }
+
+  Status Validate(const Graph& graph,
+                  const SolveRequest& request) const override {
+    return validate_ != nullptr ? validate_(graph, request) : Status::Ok();
+  }
+
+  DensestResult Run(const Graph& graph, const MotifOracle& oracle,
+                    const SolveRequest& request) const override {
+    return run_(graph, oracle, request);
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  RunFn run_;
+  ValidateFn validate_;
+};
+
+Status RequireMinSize(const Graph& graph, const SolveRequest& request) {
+  (void)graph;
+  if (request.min_size == 0) {
+    return Status::InvalidArgument(
+        "algorithm 'at-least' requires min_size >= 1");
+  }
+  return Status::Ok();
+}
+
+Status RequireSeeds(const Graph& graph, const SolveRequest& request) {
+  (void)graph;
+  if (request.seeds.empty()) {
+    return Status::InvalidArgument(
+        "algorithm 'query' requires at least one seed vertex");
+  }
+  return Status::Ok();
+}
+
+void RegisterBuiltins(SolverRegistry& registry) {
+  auto add = [&registry](std::string name, std::string description, RunFn run,
+                         ValidateFn validate = nullptr) {
+    Status status = registry.Register(std::make_unique<FunctionSolver>(
+        std::move(name), std::move(description), run, validate));
+    (void)status;  // Built-in names are distinct by construction.
+  };
+  add("exact",
+      "whole-graph flow binary search (Algorithm 1; the evaluation baseline)",
+      [](const Graph& g, const MotifOracle& o, const SolveRequest&) {
+        return Exact(g, o);
+      });
+  add("core-exact",
+      "core-located exact search (Algorithm 4; CorePExact for patterns)",
+      [](const Graph& g, const MotifOracle& o, const SolveRequest&) {
+        return CoreExact(g, o);
+      });
+  add("peel",
+      "greedy min-degree peeling, 1/|V_Psi| approximation (Algorithm 2)",
+      [](const Graph& g, const MotifOracle& o, const SolveRequest&) {
+        return PeelApp(g, o);
+      });
+  add("inc-app",
+      "bottom-up (kmax, Psi)-core, 1/|V_Psi| approximation (Algorithm 5)",
+      [](const Graph& g, const MotifOracle& o, const SolveRequest&) {
+        return IncApp(g, o);
+      });
+  add("core-app",
+      "top-down (kmax, Psi)-core, 1/|V_Psi| approximation (Algorithm 6)",
+      [](const Graph& g, const MotifOracle& o, const SolveRequest&) {
+        return CoreApp(g, o);
+      });
+  add("stream",
+      "multi-pass streaming peeling with slack eps (Bahmani et al.)",
+      [](const Graph& g, const MotifOracle& o, const SolveRequest& r) {
+        return StreamApp(g, o, r.eps);
+      });
+  add("at-least",
+      "densest subgraph with at least min_size vertices (greedy residual)",
+      [](const Graph& g, const MotifOracle& o, const SolveRequest& r) {
+        return DensestAtLeast(g, o, r.min_size);
+      },
+      &RequireMinSize);
+  add("query",
+      "densest subgraph containing every seed vertex (Section 6.3 variant)",
+      [](const Graph& g, const MotifOracle& o, const SolveRequest& r) {
+        return QueryDensest(g, o, r.seeds);
+      },
+      &RequireSeeds);
+}
+
+/// Checks the algorithm-independent request fields and canonicalises the
+/// seed list (sorted, duplicates dropped) in place.
+Status SanitizeRequest(const Graph& graph, SolveRequest& request,
+                       SolveStats& stats) {
+  if (!std::isfinite(request.eps) || request.eps <= 0.0) {
+    return Status::InvalidArgument("eps must be finite and > 0");
+  }
+  if (std::isnan(request.time_budget_seconds) ||
+      request.time_budget_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "time_budget_seconds must be >= 0 (0 = unlimited)");
+  }
+  for (VertexId seed : request.seeds) {
+    if (seed >= graph.NumVertices()) {
+      return Status::InvalidArgument(
+          "seed vertex " + std::to_string(seed) + " out of range [0, " +
+          std::to_string(graph.NumVertices()) + ")");
+    }
+  }
+  const size_t before = request.seeds.size();
+  std::sort(request.seeds.begin(), request.seeds.end());
+  request.seeds.erase(
+      std::unique(request.seeds.begin(), request.seeds.end()),
+      request.seeds.end());
+  stats.seeds_deduplicated = before - request.seeds.size();
+  request.threads = ResolveThreadCount(request.threads);
+  stats.threads = request.threads;
+  return Status::Ok();
+}
+
+StatusOr<SolveResponse> RunSolve(const Graph& graph, const Solver& solver,
+                                 const MotifOracle& oracle,
+                                 SolveRequest request, Timer timer) {
+  SolveResponse response;
+  response.stats.algorithm = solver.Name();
+  response.stats.motif = oracle.Name();
+  Status status = SanitizeRequest(graph, request, response.stats);
+  if (!status.ok()) return status;
+  status = solver.Validate(graph, request);
+  if (!status.ok()) return status;
+  response.result = solver.Run(graph, oracle, request);
+  response.stats.wall_seconds = timer.Seconds();
+  if (request.time_budget_seconds > 0.0 &&
+      response.stats.wall_seconds > request.time_budget_seconds) {
+    return Status::DeadlineExceeded(
+        "solve took " + std::to_string(response.stats.wall_seconds) +
+        "s, over the " + std::to_string(request.time_budget_seconds) +
+        "s budget");
+  }
+  return response;
+}
+
+}  // namespace
+
+SolverRegistry& SolverRegistry::Global() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry();
+    RegisterBuiltins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status SolverRegistry::Register(std::unique_ptr<Solver> solver) {
+  if (solver == nullptr || solver->Name().empty()) {
+    return Status::InvalidArgument("solver must have a non-empty name");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (FindLocked(solver->Name()) != nullptr) {
+    return Status::InvalidArgument("algorithm '" + solver->Name() +
+                                   "' is already registered");
+  }
+  solvers_.push_back(std::move(solver));
+  return Status::Ok();
+}
+
+const Solver* SolverRegistry::FindLocked(std::string_view name) const {
+  // Returned pointers stay valid across later registrations: solvers_ holds
+  // unique_ptrs, so the Solver objects never move when the vector grows.
+  for (const std::unique_ptr<Solver>& solver : solvers_) {
+    if (solver->Name() == name) return solver.get();
+  }
+  return nullptr;
+}
+
+const Solver* SolverRegistry::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FindLocked(name);
+}
+
+std::vector<std::string> SolverRegistry::Names() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    names.reserve(solvers_.size());
+    for (const std::unique_ptr<Solver>& solver : solvers_) {
+      names.push_back(solver->Name());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+StatusOr<std::unique_ptr<MotifOracle>> ParseMotif(const std::string& name) {
+  if (name == "edge") {
+    return std::unique_ptr<MotifOracle>(std::make_unique<CliqueOracle>(2));
+  }
+  if (name == "triangle") {
+    return std::unique_ptr<MotifOracle>(std::make_unique<CliqueOracle>(3));
+  }
+  for (int h = kMinClique; h <= kMaxClique; ++h) {
+    if (name == std::to_string(h) + "-clique") {
+      return std::unique_ptr<MotifOracle>(std::make_unique<CliqueOracle>(h));
+    }
+  }
+  if (name.size() > 7 && name.ends_with("-clique") &&
+      name.find_first_not_of("0123456789") == name.size() - 7) {
+    // A numeric clique spelling the loop above did not accept: distinguish
+    // a zero-padded in-range size ("03-clique") from a genuinely
+    // unsupported one so the diagnostic is never factually wrong.
+    const std::string digits = name.substr(0, name.size() - 7);
+    const size_t nonzero = digits.find_first_not_of('0');
+    const std::string value =
+        nonzero == std::string::npos ? "0" : digits.substr(nonzero);
+    if (value.size() == 1 && value[0] - '0' >= kMinClique &&
+        value[0] - '0' <= kMaxClique) {
+      return Status::InvalidArgument("clique motif '" + name +
+                                     "' must be written '" + value +
+                                     "-clique'");
+    }
+    return Status::InvalidArgument(
+        "clique motif '" + name + "' outside the supported range " +
+        std::to_string(kMinClique) + ".." + std::to_string(kMaxClique));
+  }
+  for (const NamedPattern& pattern : kNamedPatterns) {
+    if (name == pattern.name) {
+      return std::unique_ptr<MotifOracle>(
+          std::make_unique<PatternOracle>(pattern.make()));
+    }
+  }
+  return Status::NotFound("unknown motif '" + name + "'");
+}
+
+std::vector<std::string> KnownMotifNames() {
+  std::vector<std::string> names = {"edge", "triangle"};
+  for (int h = kMinClique; h <= kMaxClique; ++h) {
+    names.push_back(std::to_string(h) + "-clique");
+  }
+  for (const NamedPattern& pattern : kNamedPatterns) {
+    names.push_back(pattern.name);
+  }
+  return names;
+}
+
+StatusOr<SolveResponse> Solve(const Graph& graph,
+                              const SolveRequest& request) {
+  Timer timer;
+  const Solver* solver = SolverRegistry::Global().Find(request.algorithm);
+  if (solver == nullptr) {
+    return Status::NotFound("unknown algorithm '" + request.algorithm + "'");
+  }
+  StatusOr<std::unique_ptr<MotifOracle>> oracle = ParseMotif(request.motif);
+  if (!oracle.ok()) return oracle.status();
+  return RunSolve(graph, *solver, *oracle.value(), request, timer);
+}
+
+StatusOr<SolveResponse> Solve(const Graph& graph, const MotifOracle& oracle,
+                              const SolveRequest& request) {
+  Timer timer;
+  const Solver* solver = SolverRegistry::Global().Find(request.algorithm);
+  if (solver == nullptr) {
+    return Status::NotFound("unknown algorithm '" + request.algorithm + "'");
+  }
+  return RunSolve(graph, *solver, oracle, request, timer);
+}
+
+}  // namespace dsd

@@ -29,9 +29,21 @@ class Status {
     return Status(Code::kIoError, std::move(message));
   }
 
+  /// Lookup of a named entity (algorithm, motif) found nothing.
+  static Status NotFound(std::string message) {
+    return Status(Code::kNotFound, std::move(message));
+  }
+
+  /// The operation ran past its caller-supplied time budget.
+  static Status DeadlineExceeded(std::string message) {
+    return Status(Code::kDeadlineExceeded, std::move(message));
+  }
+
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
 
   /// Human-readable description; empty for OK.
   const std::string& message() const { return message_; }
@@ -45,12 +57,17 @@ class Status {
         return "InvalidArgument: " + message_;
       case Code::kIoError:
         return "IoError: " + message_;
+      case Code::kNotFound:
+        return "NotFound: " + message_;
+      case Code::kDeadlineExceeded:
+        return "DeadlineExceeded: " + message_;
     }
     return "Unknown";
   }
 
  private:
-  enum class Code { kOk, kInvalidArgument, kIoError };
+  enum class Code { kOk, kInvalidArgument, kIoError, kNotFound,
+                    kDeadlineExceeded };
 
   Status() : code_(Code::kOk) {}
   Status(Code code, std::string message)

@@ -1,0 +1,309 @@
+// Tests for the unified request/response API (dsd/solver.h): registry
+// round-trips asserting parity with the legacy free functions, ParseMotif's
+// vocabulary, and a Status for every way a request can be invalid.
+#include "dsd/solver.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "dsd/core_app.h"
+#include "dsd/core_exact.h"
+#include "dsd/exact.h"
+#include "dsd/extensions.h"
+#include "dsd/inc_app.h"
+#include "dsd/peel_app.h"
+#include "dsd/query_densest.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+
+namespace dsd {
+namespace {
+
+const Graph& TestGraph() {
+  static const Graph graph = gen::PlantedClique(120, 0.05, 8, 3);
+  return graph;
+}
+
+// Runs the legacy free function matching a registry name.
+DensestResult LegacyRun(const Graph& g, const MotifOracle& oracle,
+                        const SolveRequest& request) {
+  if (request.algorithm == "exact") return Exact(g, oracle);
+  if (request.algorithm == "core-exact") return CoreExact(g, oracle);
+  if (request.algorithm == "peel") return PeelApp(g, oracle);
+  if (request.algorithm == "inc-app") return IncApp(g, oracle);
+  if (request.algorithm == "core-app") return CoreApp(g, oracle);
+  if (request.algorithm == "stream") return StreamApp(g, oracle, request.eps);
+  if (request.algorithm == "at-least") {
+    return DensestAtLeast(g, oracle, request.min_size);
+  }
+  if (request.algorithm == "query") {
+    return QueryDensest(g, oracle, request.seeds);
+  }
+  ADD_FAILURE() << "no legacy mapping for " << request.algorithm;
+  return {};
+}
+
+TEST(SolverRegistryTest, GlobalListsTheEightPaperAlgorithms) {
+  const std::vector<std::string> expected = {"at-least", "core-app",
+                                             "core-exact", "exact", "inc-app",
+                                             "peel", "query", "stream"};
+  EXPECT_EQ(SolverRegistry::Global().Names(), expected);
+}
+
+TEST(SolverRegistryTest, FindRoundTripsEveryName) {
+  for (const std::string& name : SolverRegistry::Global().Names()) {
+    const Solver* solver = SolverRegistry::Global().Find(name);
+    ASSERT_NE(solver, nullptr) << name;
+    EXPECT_EQ(solver->Name(), name);
+    EXPECT_FALSE(solver->Description().empty()) << name;
+  }
+}
+
+TEST(SolverRegistryTest, FindUnknownReturnsNull) {
+  EXPECT_EQ(SolverRegistry::Global().Find("goal-density"), nullptr);
+  EXPECT_EQ(SolverRegistry::Global().Find(""), nullptr);
+}
+
+class FakeSolver : public Solver {
+ public:
+  explicit FakeSolver(std::string name) : name_(std::move(name)) {}
+  std::string Name() const override { return name_; }
+  std::string Description() const override { return "fake"; }
+  DensestResult Run(const Graph&, const MotifOracle&,
+                    const SolveRequest&) const override {
+    return {};
+  }
+
+ private:
+  std::string name_;
+};
+
+TEST(SolverRegistryTest, RegisterRejectsDuplicatesAndEmptyNames) {
+  SolverRegistry registry;
+  EXPECT_TRUE(registry.Register(std::make_unique<FakeSolver>("fake")).ok());
+  Status duplicate = registry.Register(std::make_unique<FakeSolver>("fake"));
+  EXPECT_TRUE(duplicate.IsInvalidArgument()) << duplicate.ToString();
+  Status unnamed = registry.Register(std::make_unique<FakeSolver>(""));
+  EXPECT_TRUE(unnamed.IsInvalidArgument()) << unnamed.ToString();
+  EXPECT_TRUE(registry.Register(nullptr).IsInvalidArgument());
+  EXPECT_EQ(registry.Names().size(), 1u);
+}
+
+TEST(ParseMotifTest, AcceptsEveryKnownName) {
+  for (const std::string& name : KnownMotifNames()) {
+    StatusOr<std::unique_ptr<MotifOracle>> oracle = ParseMotif(name);
+    ASSERT_TRUE(oracle.ok()) << name << ": " << oracle.status().ToString();
+    ASSERT_NE(oracle.value(), nullptr) << name;
+    EXPECT_GE(oracle.value()->MotifSize(), 2) << name;
+  }
+}
+
+TEST(ParseMotifTest, CliqueAliasesAndDisplayNames) {
+  EXPECT_EQ(ParseMotif("edge").value()->Name(), "edge");
+  EXPECT_EQ(ParseMotif("2-clique").value()->Name(), "edge");
+  EXPECT_EQ(ParseMotif("triangle").value()->Name(), "triangle");
+  EXPECT_EQ(ParseMotif("3-clique").value()->Name(), "triangle");
+  EXPECT_EQ(ParseMotif("5-clique").value()->MotifSize(), 5);
+  EXPECT_EQ(ParseMotif("diamond").value()->MotifSize(), 4);
+}
+
+TEST(ParseMotifTest, RejectsUnknownAndOutOfRangeNames) {
+  EXPECT_TRUE(ParseMotif("frobnicate").status().IsNotFound());
+  EXPECT_TRUE(ParseMotif("").status().IsNotFound());
+  // Clique sizes outside 2..9 are a bad parameter, not an unknown word.
+  EXPECT_TRUE(ParseMotif("1-clique").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseMotif("10-clique").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseMotif("99-clique").status().IsInvalidArgument());
+  // Zero-padded in-range sizes are a spelling error, and the message must
+  // not claim the size is out of range.
+  Status padded = ParseMotif("03-clique").status();
+  EXPECT_TRUE(padded.IsInvalidArgument());
+  EXPECT_NE(padded.message().find("must be written '3-clique'"),
+            std::string::npos)
+      << padded.ToString();
+  EXPECT_TRUE(ParseMotif("0-clique").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseMotif("00-clique").status().IsInvalidArgument());
+}
+
+class SolveParityTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(SolveParityTest, MatchesLegacyFreeFunction) {
+  const auto& [algorithm, motif] = GetParam();
+  SolveRequest request;
+  request.algorithm = algorithm;
+  request.motif = motif;
+  if (algorithm == "at-least") request.min_size = 10;
+  if (algorithm == "query") request.seeds = {1, 2};
+
+  StatusOr<SolveResponse> solved = Solve(TestGraph(), request);
+  ASSERT_TRUE(solved.ok()) << solved.status().ToString();
+  const SolveResponse& response = solved.value();
+
+  std::unique_ptr<MotifOracle> oracle = std::move(ParseMotif(motif)).value();
+  DensestResult legacy = LegacyRun(TestGraph(), *oracle, request);
+
+  EXPECT_EQ(response.result.vertices, legacy.vertices);
+  EXPECT_EQ(response.result.instances, legacy.instances);
+  EXPECT_DOUBLE_EQ(response.result.density, legacy.density);
+  EXPECT_EQ(response.stats.algorithm, algorithm);
+  EXPECT_EQ(response.stats.motif, oracle->Name());
+  EXPECT_GE(response.stats.threads, 1u);
+  EXPECT_GE(response.stats.wall_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAcrossMotifs, SolveParityTest,
+    ::testing::Combine(::testing::Values("exact", "core-exact", "peel",
+                                         "inc-app", "core-app", "stream",
+                                         "at-least", "query"),
+                       ::testing::Values("edge", "triangle", "4-clique",
+                                         "diamond", "2-star")),
+    [](const ::testing::TestParamInfo<SolveParityTest::ParamType>& info) {
+      std::string name =
+          std::get<0>(info.param) + "_" + std::get<1>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(SolveValidationTest, UnknownAlgorithmIsNotFound) {
+  SolveRequest request;
+  request.algorithm = "simulated-annealing";
+  Status status = Solve(TestGraph(), request).status();
+  EXPECT_TRUE(status.IsNotFound()) << status.ToString();
+  EXPECT_NE(status.message().find("simulated-annealing"), std::string::npos);
+}
+
+TEST(SolveValidationTest, UnknownMotifIsNotFound) {
+  SolveRequest request;
+  request.motif = "pentagram";
+  Status status = Solve(TestGraph(), request).status();
+  EXPECT_TRUE(status.IsNotFound()) << status.ToString();
+}
+
+TEST(SolveValidationTest, BadEpsIsInvalidArgument) {
+  for (double eps : {0.0, -0.25, std::nan(""),
+                     std::numeric_limits<double>::infinity()}) {
+    SolveRequest request;
+    request.algorithm = "stream";
+    request.eps = eps;
+    Status status = Solve(TestGraph(), request).status();
+    EXPECT_TRUE(status.IsInvalidArgument()) << eps << ": " << status.ToString();
+  }
+  // eps is part of the common request contract: it is checked even for
+  // algorithms that do not consume it.
+  SolveRequest request;
+  request.algorithm = "peel";
+  request.eps = -1.0;
+  EXPECT_TRUE(Solve(TestGraph(), request).status().IsInvalidArgument());
+}
+
+TEST(SolveValidationTest, AtLeastWithoutMinSizeIsInvalidArgument) {
+  SolveRequest request;
+  request.algorithm = "at-least";
+  Status status = Solve(TestGraph(), request).status();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST(SolveValidationTest, QueryWithoutSeedsIsInvalidArgument) {
+  SolveRequest request;
+  request.algorithm = "query";
+  Status status = Solve(TestGraph(), request).status();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST(SolveValidationTest, OutOfRangeSeedIsInvalidArgument) {
+  SolveRequest request;
+  request.algorithm = "query";
+  request.seeds = {1, TestGraph().NumVertices()};
+  Status status = Solve(TestGraph(), request).status();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  // Seeds are validated for every algorithm, not only "query".
+  request.algorithm = "core-exact";
+  EXPECT_TRUE(Solve(TestGraph(), request).status().IsInvalidArgument());
+}
+
+TEST(SolveValidationTest, BadTimeBudgetIsInvalidArgument) {
+  for (double budget : {-1.0, std::nan("")}) {
+    SolveRequest request;
+    request.time_budget_seconds = budget;
+    Status status = Solve(TestGraph(), request).status();
+    EXPECT_TRUE(status.IsInvalidArgument())
+        << budget << ": " << status.ToString();
+  }
+}
+
+TEST(SolveValidationTest, BlownTimeBudgetIsDeadlineExceeded) {
+  SolveRequest request;
+  request.algorithm = "core-exact";
+  request.motif = "triangle";
+  request.time_budget_seconds = 1e-12;  // Any real run exceeds this.
+  Status status = Solve(TestGraph(), request).status();
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+}
+
+TEST(SolveValidationTest, GenerousTimeBudgetSucceeds) {
+  SolveRequest request;
+  request.algorithm = "peel";
+  request.time_budget_seconds = 3600.0;
+  EXPECT_TRUE(Solve(TestGraph(), request).ok());
+}
+
+TEST(SolveTest, DuplicateSeedsAreDeduplicated) {
+  SolveRequest duplicated;
+  duplicated.algorithm = "query";
+  duplicated.seeds = {5, 5, 2, 5, 2};
+  StatusOr<SolveResponse> from_duplicates = Solve(TestGraph(), duplicated);
+  ASSERT_TRUE(from_duplicates.ok()) << from_duplicates.status().ToString();
+  EXPECT_EQ(from_duplicates.value().stats.seeds_deduplicated, 3u);
+
+  SolveRequest unique;
+  unique.algorithm = "query";
+  unique.seeds = {2, 5};
+  StatusOr<SolveResponse> from_unique = Solve(TestGraph(), unique);
+  ASSERT_TRUE(from_unique.ok()) << from_unique.status().ToString();
+  EXPECT_EQ(from_unique.value().stats.seeds_deduplicated, 0u);
+
+  EXPECT_EQ(from_duplicates.value().result.vertices,
+            from_unique.value().result.vertices);
+  EXPECT_DOUBLE_EQ(from_duplicates.value().result.density,
+                   from_unique.value().result.density);
+}
+
+TEST(SolveTest, CallerSuppliedOracleOverloadSkipsMotifName) {
+  PatternOracle oracle(Pattern::Diamond(), /*use_special_kernels=*/false);
+  SolveRequest request;
+  request.algorithm = "core-exact";
+  request.motif = "this-name-is-ignored";
+  StatusOr<SolveResponse> solved = Solve(TestGraph(), oracle, request);
+  ASSERT_TRUE(solved.ok()) << solved.status().ToString();
+  EXPECT_EQ(solved.value().stats.motif, "diamond");
+
+  DensestResult legacy = CorePExact(TestGraph(), oracle);
+  EXPECT_EQ(solved.value().result.vertices, legacy.vertices);
+  EXPECT_DOUBLE_EQ(solved.value().result.density, legacy.density);
+}
+
+TEST(SolveTest, ThreadRequestIsResolvedAndEchoed) {
+  SolveRequest request;
+  request.algorithm = "peel";
+  request.threads = 3;
+  StatusOr<SolveResponse> solved = Solve(TestGraph(), request);
+  ASSERT_TRUE(solved.ok());
+  EXPECT_EQ(solved.value().stats.threads, 3u);
+  request.threads = 0;  // "auto" resolves to >= 1, never stays 0.
+  solved = Solve(TestGraph(), request);
+  ASSERT_TRUE(solved.ok());
+  EXPECT_GE(solved.value().stats.threads, 1u);
+}
+
+}  // namespace
+}  // namespace dsd

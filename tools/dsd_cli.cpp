@@ -2,20 +2,19 @@
 //
 // Usage:
 //   dsd_cli --input graph.txt [--motif triangle] [--algo core-exact]
-//           [--query 3,17,42] [--min-size 20] [--eps 0.1] [--verbose]
+//           [--query 3,17,42] [--min-size 20] [--eps 0.1] [--threads N]
+//           [--time-budget S] [--verbose]
 //   dsd_cli --demo            # run on a small generated graph
+//   dsd_cli --list-algos      # registered algorithms, one per line
+//   dsd_cli --list-motifs     # recognised motif names, one per line
 //
-// Motifs: edge | triangle | <h>-clique (h in 2..9) | 2-star | 3-star |
-//         c3-star | diamond | 2-triangle | 3-triangle | basket
-// Algorithms: exact | core-exact | peel | inc-app | core-app | stream |
-//             at-least (needs --min-size) | query (needs --query)
-#include <cmath>
+// The CLI is a thin shell over dsd::Solve: flags are packed into a
+// dsd::SolveRequest and every semantic check (unknown algorithm/motif, bad
+// eps, missing --min-size/--query, out-of-range or duplicate seeds) happens
+// in the library, which reports a Status instead of exiting.
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
-#include <map>
-#include <memory>
-#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -29,12 +28,8 @@ using dsd::VertexId;
 struct Options {
   std::string input;
   bool demo = false;
-  std::string motif = "edge";
-  std::string algo = "core-exact";
-  std::vector<VertexId> query;
-  VertexId min_size = 0;
-  double eps = 0.1;
   bool verbose = false;
+  dsd::SolveRequest request;
 };
 
 [[noreturn]] void Usage(const char* error) {
@@ -43,8 +38,9 @@ struct Options {
   std::fprintf(
       out,
       "usage: dsd_cli (--input FILE | --demo) [--motif M] [--algo A]\n"
-      "               [--query v1,v2,...] [--min-size K] [--eps E] "
-      "[--verbose]\n"
+      "               [--query v1,v2,...] [--min-size K] [--eps E]\n"
+      "               [--threads N] [--time-budget S] [--verbose]\n"
+      "       dsd_cli --list-algos | --list-motifs\n"
       "  motifs:     edge triangle <h>-clique 2-star 3-star c3-star diamond\n"
       "              2-triangle 3-triangle basket\n"
       "  algorithms: exact core-exact peel inc-app core-app stream at-least "
@@ -93,6 +89,11 @@ std::vector<VertexId> ParseIdList(const std::string& text) {
   return ids;
 }
 
+[[noreturn]] void ListAndExit(const std::vector<std::string>& names) {
+  for (const std::string& name : names) std::printf("%s\n", name.c_str());
+  std::exit(0);
+}
+
 Options ParseArgs(int argc, char** argv) {
   Options options;
   for (int i = 1; i < argc; ++i) {
@@ -106,18 +107,25 @@ Options ParseArgs(int argc, char** argv) {
     } else if (arg == "--demo") {
       options.demo = true;
     } else if (arg == "--motif") {
-      options.motif = next();
+      options.request.motif = next();
     } else if (arg == "--algo") {
-      options.algo = next();
+      options.request.algorithm = next();
     } else if (arg == "--query") {
-      options.query = ParseIdList(next());
+      options.request.seeds = ParseIdList(next());
     } else if (arg == "--min-size") {
-      options.min_size = ParseVertexId("--min-size", next());
+      options.request.min_size = ParseVertexId("--min-size", next());
     } else if (arg == "--eps") {
-      options.eps = ParseDouble("--eps", next());
-      if (!(options.eps > 0.0) || !std::isfinite(options.eps)) {
-        Usage("--eps expects a finite value > 0");
-      }
+      options.request.eps = ParseDouble("--eps", next());
+    } else if (arg == "--threads") {
+      options.request.threads =
+          static_cast<unsigned>(ParseVertexId("--threads", next()));
+    } else if (arg == "--time-budget") {
+      options.request.time_budget_seconds =
+          ParseDouble("--time-budget", next());
+    } else if (arg == "--list-algos") {
+      ListAndExit(dsd::SolverRegistry::Global().Names());
+    } else if (arg == "--list-motifs") {
+      ListAndExit(dsd::KnownMotifNames());
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -130,28 +138,6 @@ Options ParseArgs(int argc, char** argv) {
     Usage("one of --input or --demo is required");
   }
   return options;
-}
-
-std::unique_ptr<dsd::MotifOracle> MakeOracle(const std::string& name) {
-  if (name == "edge") return std::make_unique<dsd::CliqueOracle>(2);
-  if (name == "triangle") return std::make_unique<dsd::CliqueOracle>(3);
-  for (int h = 2; h <= 9; ++h) {
-    if (name == std::to_string(h) + "-clique") {
-      return std::make_unique<dsd::CliqueOracle>(h);
-    }
-  }
-  std::map<std::string, dsd::Pattern (*)()> patterns = {
-      {"2-star", &dsd::Pattern::TwoStar},
-      {"3-star", &dsd::Pattern::ThreeStar},
-      {"c3-star", &dsd::Pattern::C3Star},
-      {"diamond", &dsd::Pattern::Diamond},
-      {"2-triangle", &dsd::Pattern::TwoTriangle},
-      {"3-triangle", &dsd::Pattern::ThreeTriangle},
-      {"basket", &dsd::Pattern::Basket},
-  };
-  auto it = patterns.find(name);
-  if (it == patterns.end()) Usage(("unknown motif " + name).c_str());
-  return std::make_unique<dsd::PatternOracle>(it->second());
 }
 
 }  // namespace
@@ -174,39 +160,17 @@ int main(int argc, char** argv) {
   std::printf("# graph: n=%u m=%llu\n", graph.NumVertices(),
               static_cast<unsigned long long>(graph.NumEdges()));
 
-  std::unique_ptr<dsd::MotifOracle> oracle = MakeOracle(options.motif);
-  for (VertexId q : options.query) {
-    if (q >= graph.NumVertices()) {
-      std::fprintf(stderr, "error: query vertex %u out of range\n", q);
-      return 1;
-    }
+  dsd::StatusOr<dsd::SolveResponse> solved =
+      dsd::Solve(graph, options.request);
+  if (!solved.ok()) {
+    std::fprintf(stderr, "error: %s\n", solved.status().ToString().c_str());
+    return 2;
   }
+  const dsd::SolveResponse& response = solved.value();
+  const dsd::DensestResult& result = response.result;
 
-  dsd::DensestResult result;
-  if (options.algo == "exact") {
-    result = dsd::Exact(graph, *oracle);
-  } else if (options.algo == "core-exact") {
-    result = dsd::CoreExact(graph, *oracle);
-  } else if (options.algo == "peel") {
-    result = dsd::PeelApp(graph, *oracle);
-  } else if (options.algo == "inc-app") {
-    result = dsd::IncApp(graph, *oracle);
-  } else if (options.algo == "core-app") {
-    result = dsd::CoreApp(graph, *oracle);
-  } else if (options.algo == "stream") {
-    result = dsd::StreamApp(graph, *oracle, options.eps);
-  } else if (options.algo == "at-least") {
-    if (options.min_size == 0) Usage("--algo at-least needs --min-size");
-    result = dsd::DensestAtLeast(graph, *oracle, options.min_size);
-  } else if (options.algo == "query") {
-    if (options.query.empty()) Usage("--algo query needs --query");
-    result = dsd::QueryDensest(graph, *oracle, options.query);
-  } else {
-    Usage(("unknown algorithm " + options.algo).c_str());
-  }
-
-  std::printf("motif      %s\n", oracle->Name().c_str());
-  std::printf("algorithm  %s\n", options.algo.c_str());
+  std::printf("motif      %s\n", response.stats.motif.c_str());
+  std::printf("algorithm  %s\n", response.stats.algorithm.c_str());
   std::printf("density    %.6f\n", result.density);
   std::printf("instances  %llu\n",
               static_cast<unsigned long long>(result.instances));
@@ -222,6 +186,9 @@ int main(int argc, char** argv) {
     if (result.stats.binary_search_iterations > 0) {
       std::printf("iterations %d\n", result.stats.binary_search_iterations);
     }
+    // stats.threads is the resolved budget, not workers actually used (the
+    // built-in solvers are sequential), so it is not echoed here.
+    std::printf("wall       %.3f ms\n", response.stats.wall_seconds * 1e3);
   }
   return 0;
 }
