@@ -1,0 +1,120 @@
+// Thread-scaling bench for the ExecutionContext-aware solve path: runs the
+// parallel-capable algorithms through dsd::Solve at several thread budgets
+// on the bundled demo graphs and emits machine-readable JSON (one record per
+// algo x graph x threads), so scripts/run_bench.sh can track the perf
+// trajectory as BENCH_threads.json.
+//
+// Besides timing, every multi-threaded run is checked bit-identical to its
+// threads = 1 baseline (the parallel kernels are deterministic integer
+// reductions); a mismatch fails the bench with exit 1.
+//
+// Usage: bench_threads [output.json]   (stdout when no path is given)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "harness/runner.h"
+
+namespace dsd::bench {
+namespace {
+
+struct BenchGraph {
+  std::string name;
+  Graph graph;
+};
+
+struct Record {
+  std::string algo;
+  std::string graph;
+  unsigned threads_requested = 0;
+  unsigned threads_effective = 0;
+  double wall_seconds = 0.0;
+  double density = 0.0;
+  size_t vertices = 0;
+};
+
+int Run(std::FILE* out) {
+  // The dsd_cli --demo graph plus a denser community graph where the
+  // 4-clique degree passes dominate and the thread budget has real work.
+  std::vector<BenchGraph> graphs;
+  graphs.push_back({"demo_planted_k15", gen::PlantedClique(500, 0.01, 15, 7)});
+  graphs.push_back(
+      {"communities_8k", gen::PowerLawWithCommunities(8000, 3, 24, 12, 0.9,
+                                                      0x5EED)});
+
+  const std::string motif = "4-clique";
+  const std::vector<std::string> algos = {"exact", "core-exact", "peel"};
+  const std::vector<unsigned> thread_counts = {1, 2, 4};
+
+  std::vector<Record> records;
+  for (const BenchGraph& bg : graphs) {
+    for (const std::string& algo : algos) {
+      SolveResponse baseline;
+      for (unsigned threads : thread_counts) {
+        SolveRequest request;
+        request.algorithm = algo;
+        request.motif = motif;
+        request.threads = threads;
+        SolveResponse response = MustSolve(bg.graph, std::move(request));
+        if (threads == thread_counts.front()) {
+          baseline = response;
+        } else if (response.result.vertices != baseline.result.vertices ||
+                   response.result.instances != baseline.result.instances) {
+          std::fprintf(stderr,
+                       "FAIL: %s on %s with %u threads diverged from the "
+                       "sequential answer\n",
+                       algo.c_str(), bg.name.c_str(), threads);
+          return 1;
+        }
+        Record record;
+        record.algo = algo;
+        record.graph = bg.name;
+        record.threads_requested = threads;
+        record.threads_effective = response.stats.threads;
+        record.wall_seconds = response.stats.wall_seconds;
+        record.density = response.result.density;
+        record.vertices = response.result.vertices.size();
+        records.push_back(record);
+        std::fprintf(stderr, "%-12s %-16s threads=%u  %.3f ms\n", algo.c_str(),
+                     bg.name.c_str(), threads,
+                     response.stats.wall_seconds * 1e3);
+      }
+    }
+  }
+
+  std::fprintf(out, "{\n  \"benchmark\": \"threads\",\n  \"motif\": \"%s\",\n"
+                    "  \"results\": [\n",
+               motif.c_str());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(out,
+                 "    {\"algo\": \"%s\", \"graph\": \"%s\", "
+                 "\"threads_requested\": %u, \"threads_effective\": %u, "
+                 "\"wall_seconds\": %.6f, \"density\": %.6f, "
+                 "\"vertices\": %zu}%s\n",
+                 r.algo.c_str(), r.graph.c_str(), r.threads_requested,
+                 r.threads_effective, r.wall_seconds, r.density, r.vertices,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dsd::bench
+
+int main(int argc, char** argv) {
+  std::FILE* out = stdout;
+  if (argc > 1) {
+    out = std::fopen(argv[1], "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", argv[1]);
+      return 1;
+    }
+  }
+  int status = dsd::bench::Run(out);
+  if (out != stdout) std::fclose(out);
+  return status;
+}

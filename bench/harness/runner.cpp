@@ -27,6 +27,10 @@ SolveResponse MustSolve(const Graph& g, const std::string& algorithm,
   return Unwrap(Solve(g, request));
 }
 
+SolveResponse MustSolve(const Graph& g, SolveRequest request) {
+  return Unwrap(Solve(g, request));
+}
+
 SolveResponse MustSolve(const Graph& g, const std::string& algorithm,
                         const MotifOracle& oracle) {
   SolveRequest request;

@@ -19,6 +19,10 @@ namespace dsd::bench {
 SolveResponse MustSolve(const Graph& g, const std::string& algorithm,
                         const std::string& motif);
 
+/// Runs a fully specified request (thread budget, time budget, ...); the
+/// thread-scaling bench drives this with varying SolveRequest::threads.
+SolveResponse MustSolve(const Graph& g, SolveRequest request);
+
 /// Same with a caller-supplied oracle (for Pattern objects or ablation
 /// oracles the motif-name vocabulary cannot express).
 SolveResponse MustSolve(const Graph& g, const std::string& algorithm,

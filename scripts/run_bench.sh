@@ -29,7 +29,14 @@ for target in "${targets[@]}"; do
     exit 1
   fi
   echo "==> $target"
-  "$bin" | tee "$OUT_DIR/$target.txt"
+  if [[ $target == bench_threads ]]; then
+    # Thread-scaling bench: machine-readable JSON (algo x threads x wall
+    # time, parity-checked against the sequential run) for trend tracking.
+    "$bin" "$OUT_DIR/BENCH_threads.json"
+    echo "wrote $OUT_DIR/BENCH_threads.json"
+  else
+    "$bin" | tee "$OUT_DIR/$target.txt"
+  fi
 done
 
 echo "Reports written to $OUT_DIR/"

@@ -47,11 +47,7 @@ std::vector<uint64_t> CliqueDegreesWithin(const Graph& graph, int h,
   if (alive.empty()) {
     return CliqueEnumerator(graph, h).Degrees();
   }
-  std::vector<VertexId> alive_vertices;
-  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
-    if (alive[v]) alive_vertices.push_back(v);
-  }
-  Subgraph sub = InducedSubgraph(graph, alive_vertices);
+  Subgraph sub = InducedAliveSubgraph(graph, alive);
   std::vector<uint64_t> local = CliqueEnumerator(sub.graph, h).Degrees();
   std::vector<uint64_t> degrees(graph.NumVertices(), 0);
   for (VertexId i = 0; i < local.size(); ++i) {

@@ -1,0 +1,135 @@
+#include "dsd/caching_oracle.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dsd {
+
+namespace {
+
+constexpr uint64_t kFnvOffsetA = 0xCBF29CE484222325ull;
+constexpr uint64_t kFnvOffsetB = 0x6C62272E07BB0142ull;  // FNV-1a 128 high.
+constexpr uint64_t kFnvPrime = 0x100000001B3ull;
+
+inline void Mix(uint64_t word, uint64_t& a, uint64_t& b) {
+  a = (a ^ word) * kFnvPrime;
+  b = (b ^ (word + 0x9E3779B97F4A7C15ull)) * kFnvPrime;
+}
+
+}  // namespace
+
+CachingOracle::CachingOracle(std::unique_ptr<MotifOracle> inner,
+                             size_t max_cached_bytes)
+    : inner_(std::move(inner)), max_cached_bytes_(max_cached_bytes) {
+  assert(inner_ != nullptr);
+}
+
+CachingOracle::~CachingOracle() = default;
+
+CachingOracle::Key CachingOracle::Fingerprint(const Graph& graph,
+                                              std::span<const char> alive) {
+  uint64_t a = kFnvOffsetA;
+  uint64_t b = kFnvOffsetB;
+  uint64_t population = 0;
+  const VertexId n = graph.NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    if (!alive.empty() && !alive[v]) continue;
+    ++population;
+    Mix(v, a, b);
+    for (VertexId u : graph.Neighbors(v)) {
+      // Hash the alive-restricted adjacency so two masks exposing the same
+      // induced subgraph of the same graph collide on purpose (they answer
+      // identically), while any structural difference changes the stream.
+      if (alive.empty() || alive[u]) Mix(u, a, b);
+    }
+    Mix(0xFFFFFFFFFFFFFFFFull, a, b);  // row separator
+  }
+  Key key;
+  key.size_word = (static_cast<uint64_t>(n) << 32) ^ population;
+  key.hash_a = a;
+  key.hash_b = b;
+  return key;
+}
+
+void CachingOracle::MaybeEvict(size_t incoming_bytes) const {
+  // Called with mutex_ held.
+  if (cached_bytes_ + incoming_bytes <= max_cached_bytes_) return;
+  degrees_.clear();
+  counts_.clear();
+  cached_bytes_ = 0;
+}
+
+std::vector<uint64_t> CachingOracle::DegreesImpl(
+    const Graph& graph, std::span<const char> alive,
+    const ExecutionContext& ctx) const {
+  const Key key = Fingerprint(graph, alive);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = degrees_.find(key);
+    if (it != degrees_.end()) {
+      ++stats_.degree_hits;
+      return it->second;
+    }
+    ++stats_.degree_misses;
+  }
+  // Compute outside the lock: a concurrent identical miss wastes work but
+  // never blocks unrelated queries behind an expensive enumeration.
+  std::vector<uint64_t> degrees = inner_->Degrees(graph, alive, ctx);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const size_t bytes = degrees.size() * sizeof(uint64_t);
+    MaybeEvict(bytes);
+    if (degrees_.emplace(key, degrees).second) cached_bytes_ += bytes;
+  }
+  return degrees;
+}
+
+uint64_t CachingOracle::CountInstancesImpl(const Graph& graph,
+                                           std::span<const char> alive,
+                                           const ExecutionContext& ctx) const {
+  const Key key = Fingerprint(graph, alive);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counts_.find(key);
+    if (it != counts_.end()) {
+      ++stats_.count_hits;
+      return it->second;
+    }
+    ++stats_.count_misses;
+  }
+  const uint64_t count = inner_->CountInstances(graph, alive, ctx);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MaybeEvict(sizeof(uint64_t));
+    if (counts_.emplace(key, count).second) cached_bytes_ += sizeof(uint64_t);
+  }
+  return count;
+}
+
+uint64_t CachingOracle::PeelVertex(const Graph& graph, VertexId v,
+                                   std::span<const char> alive,
+                                   const PeelCallback& cb) const {
+  return inner_->PeelVertex(graph, v, alive, cb);
+}
+
+std::vector<InstanceGroup> CachingOracle::Groups(
+    const Graph& graph, std::span<const char> alive) const {
+  return inner_->Groups(graph, alive);
+}
+
+std::vector<uint64_t> CachingOracle::CoreNumberUpperBounds(
+    const Graph& graph) const {
+  return inner_->CoreNumberUpperBounds(graph);
+}
+
+CachingOracle::CacheStats CachingOracle::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void CachingOracle::ResetCacheStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = CacheStats();
+}
+
+}  // namespace dsd

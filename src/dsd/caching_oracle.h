@@ -1,0 +1,116 @@
+// CachingOracle: a memoizing decorator for the oracle hot calls.
+//
+// CoreExact, CoreApp and the query-anchored solver repeatedly evaluate
+// Degrees / CountInstances on (k, Psi)-core restrictions of the same graph:
+// RestrictToCore iterates to a fixpoint, Pruning2 re-measures components
+// after raising the core level, and the best candidate is re-measured when
+// results are finalised. Each such query re-enumerates motif instances from
+// scratch — far more expensive than a linear scan of its input. This
+// decorator memoizes both queries, keyed by a content fingerprint of the
+// (graph, alive-mask) pair, so an identical sub-query costs one O(n + m)
+// hash instead of a full enumeration, while a changed alive mask (or any
+// structural change) misses and recomputes — there is no stale-entry
+// invalidation to get wrong, because the key IS the content.
+#ifndef DSD_DSD_CACHING_ORACLE_H_
+#define DSD_DSD_CACHING_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dsd/motif_oracle.h"
+
+namespace dsd {
+
+/// Memoizing MotifOracle decorator. Owns the wrapped oracle. Thread-safe:
+/// the cache is mutex-guarded so one instance may serve concurrent solves
+/// (the hit path holds the lock only for the lookup/copy, never during the
+/// wrapped computation).
+class CachingOracle : public MotifOracle {
+ public:
+  /// Hit/miss counters, per query kind (for tests and instrumentation).
+  struct CacheStats {
+    uint64_t degree_hits = 0;
+    uint64_t degree_misses = 0;
+    uint64_t count_hits = 0;
+    uint64_t count_misses = 0;
+  };
+
+  /// Wraps `inner` (must not be null). `max_cached_bytes` bounds the memory
+  /// held in memoized degree vectors; when an insertion would exceed it the
+  /// cache is cleared first (simple, and the working set of one solve —
+  /// a handful of shrinking cores — fits far below the default).
+  explicit CachingOracle(std::unique_ptr<MotifOracle> inner,
+                         size_t max_cached_bytes = size_t{64} << 20);
+  ~CachingOracle() override;
+
+  int MotifSize() const override { return inner_->MotifSize(); }
+  std::string Name() const override { return inner_->Name(); }
+  uint64_t PeelVertex(const Graph& graph, VertexId v,
+                      std::span<const char> alive,
+                      const PeelCallback& cb) const override;
+  std::vector<InstanceGroup> Groups(const Graph& graph,
+                                    std::span<const char> alive) const override;
+  std::vector<uint64_t> CoreNumberUpperBounds(
+      const Graph& graph) const override;
+  unsigned MaxUsefulThreads() const override {
+    return inner_->MaxUsefulThreads();
+  }
+  const MotifOracle& Underlying() const override {
+    return inner_->Underlying();
+  }
+
+  /// Counters since construction (or the last ResetCacheStats).
+  CacheStats cache_stats() const;
+  void ResetCacheStats();
+
+  const MotifOracle& inner() const { return *inner_; }
+
+ protected:
+  std::vector<uint64_t> DegreesImpl(const Graph& graph,
+                                    std::span<const char> alive,
+                                    const ExecutionContext& ctx) const override;
+  uint64_t CountInstancesImpl(const Graph& graph, std::span<const char> alive,
+                              const ExecutionContext& ctx) const override;
+
+ private:
+  struct Key {
+    // Content fingerprint of (graph, alive): sizes plus two independent
+    // 64-bit FNV-1a streams over the CSR structure and mask. Equality is on
+    // the whole 192-bit tuple; a collision needs two different inputs to
+    // agree on both streams AND both sizes simultaneously.
+    uint64_t size_word;  // NumVertices and alive-population packed together.
+    uint64_t hash_a;
+    uint64_t hash_b;
+    bool operator==(const Key& other) const {
+      return size_word == other.size_word && hash_a == other.hash_a &&
+             hash_b == other.hash_b;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      return static_cast<size_t>(key.hash_a ^ (key.size_word * 0x9E3779B97F4A7C15ull));
+    }
+  };
+
+  static Key Fingerprint(const Graph& graph, std::span<const char> alive);
+
+  void MaybeEvict(size_t incoming_bytes) const;
+
+  std::unique_ptr<MotifOracle> inner_;
+  size_t max_cached_bytes_;
+
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<Key, std::vector<uint64_t>, KeyHash> degrees_;
+  mutable std::unordered_map<Key, uint64_t, KeyHash> counts_;
+  mutable size_t cached_bytes_ = 0;
+  mutable CacheStats stats_;
+};
+
+}  // namespace dsd
+
+#endif  // DSD_DSD_CACHING_ORACLE_H_

@@ -11,12 +11,13 @@
 namespace dsd {
 
 DensestResult CoreApp(const Graph& graph, const MotifOracle& oracle,
-                      const CoreAppOptions& options) {
+                      const CoreAppOptions& options,
+                      const ExecutionContext& ctx) {
   Timer timer;
   DensestResult result;
   const VertexId n = graph.NumVertices();
   if (n == 0) {
-    FillResult(graph, oracle, {}, result);
+    FillResult(graph, oracle, {}, result, ctx);
     result.stats.total_seconds = timer.Seconds();
     return result;
   }
@@ -33,22 +34,23 @@ DensestResult CoreApp(const Graph& graph, const MotifOracle& oracle,
   uint64_t kmax = 0;
   VertexId window = std::min<VertexId>(n, std::max<VertexId>(
                                               1, options.initial_window));
-  while (true) {
+  while (!ctx.ShouldStop()) {
     std::vector<VertexId> prefix(by_gamma.begin(), by_gamma.begin() + window);
     if (kmax == 0) {
       // Bootstrap: no core level established yet; decompose the window.
       Subgraph sub = InducedSubgraph(graph, prefix);
-      kmax = MotifCoreDecompose(sub.graph, oracle).kmax;
+      kmax = MotifCoreDecompose(sub.graph, oracle, ctx).kmax;
     } else {
       // Algorithm 6 lines 7-14: only chase cores of order > kmax. Peeling
       // the window at level kmax+1 discards almost everything instantly
       // when no higher core hides in it — this is where CoreApp beats a
       // full bottom-up decomposition.
       std::vector<VertexId> survivors =
-          RestrictToCore(graph, oracle, prefix, kmax + 1);
+          RestrictToCore(graph, oracle, prefix, kmax + 1, ctx);
       if (!survivors.empty()) {
         Subgraph sub = InducedSubgraph(graph, survivors);
-        uint64_t refined = MotifCoreDecompose(sub.graph, oracle).kmax;
+        uint64_t refined =
+            MotifCoreDecompose(sub.graph, oracle, ctx).kmax;
         kmax = std::max(kmax + 1, refined);
       }
     }
@@ -72,12 +74,12 @@ DensestResult CoreApp(const Graph& graph, const MotifOracle& oracle,
       if (gamma[v] < kmax) break;
       candidates.push_back(v);
     }
-    best_core = RestrictToCore(graph, oracle, candidates, kmax);
+    best_core = RestrictToCore(graph, oracle, candidates, kmax, ctx);
   }
 
   result.stats.kmax =
       static_cast<uint32_t>(std::min<uint64_t>(kmax, UINT32_MAX));
-  FillResult(graph, oracle, std::move(best_core), result);
+  FillResult(graph, oracle, std::move(best_core), result, ctx);
   result.stats.total_seconds = timer.Seconds();
   return result;
 }

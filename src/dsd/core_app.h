@@ -8,6 +8,7 @@
 #ifndef DSD_DSD_CORE_APP_H_
 #define DSD_DSD_CORE_APP_H_
 
+#include "dsd/execution_context.h"
 #include "dsd/motif_oracle.h"
 #include "dsd/result.h"
 #include "graph/graph.h"
@@ -21,9 +22,12 @@ struct CoreAppOptions {
 };
 
 /// Returns the (kmax, Psi)-core computed top-down (Algorithm 6).
-/// Guaranteed identical to IncApp's answer.
+/// Guaranteed identical to IncApp's answer. `ctx` parallelises/memoizes the
+/// batch degree passes of the window restrictions (RestrictToCore), which
+/// dominate CoreApp's cost.
 DensestResult CoreApp(const Graph& graph, const MotifOracle& oracle,
-                      const CoreAppOptions& options = {});
+                      const CoreAppOptions& options = {},
+                      const ExecutionContext& ctx = ExecutionContext());
 
 }  // namespace dsd
 

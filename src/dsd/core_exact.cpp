@@ -35,13 +35,14 @@ std::vector<std::vector<VertexId>> ComponentsOf(
 }  // namespace
 
 DensestResult CoreExact(const Graph& graph, const MotifOracle& oracle,
-                        const CoreExactOptions& options) {
+                        const CoreExactOptions& options,
+                        const ExecutionContext& ctx) {
   Timer total_timer;
   DensestResult result;
   const VertexId n = graph.NumVertices();
   const int h = oracle.MotifSize();
   if (n < 2) {
-    FillResult(graph, oracle, {}, result);
+    FillResult(graph, oracle, {}, result, ctx);
     result.stats.total_seconds = total_timer.Seconds();
     return result;
   }
@@ -49,13 +50,14 @@ DensestResult CoreExact(const Graph& graph, const MotifOracle& oracle,
   // Step 1: (k, Psi)-core decomposition (Algorithm 3), with residual-density
   // tracking for Pruning1.
   Timer decomposition_timer;
-  MotifCoreDecomposition decomposition = MotifCoreDecompose(graph, oracle);
+  MotifCoreDecomposition decomposition =
+      MotifCoreDecompose(graph, oracle, ctx);
   result.stats.decomposition_seconds = decomposition_timer.Seconds();
   result.stats.kmax = static_cast<uint32_t>(
       std::min<uint64_t>(decomposition.kmax, UINT32_MAX));
   if (decomposition.kmax == 0) {
     // No motif instance anywhere: density 0, empty answer.
-    FillResult(graph, oracle, {}, result);
+    FillResult(graph, oracle, {}, result, ctx);
     result.stats.total_seconds = total_timer.Seconds();
     return result;
   }
@@ -82,7 +84,7 @@ DensestResult CoreExact(const Graph& graph, const MotifOracle& oracle,
     size_t argmax = 0;
     std::vector<double> densities(components.size(), 0.0);
     for (size_t i = 0; i < components.size(); ++i) {
-      densities[i] = MeasureDensity(graph, oracle, components[i]);
+      densities[i] = MeasureDensity(graph, oracle, components[i], ctx);
       if (densities[i] > rho2) {
         rho2 = densities[i];
         argmax = i;
@@ -97,7 +99,7 @@ DensestResult CoreExact(const Graph& graph, const MotifOracle& oracle,
       components = ComponentsOf(graph, decomposition.CoreVertices(core_level));
       densities.assign(components.size(), 0.0);
       for (size_t i = 0; i < components.size(); ++i) {
-        densities[i] = MeasureDensity(graph, oracle, components[i]);
+        densities[i] = MeasureDensity(graph, oracle, components[i], ctx);
       }
     }
     // Process densest components first: they raise `lower` early and let the
@@ -119,25 +121,26 @@ DensestResult CoreExact(const Graph& graph, const MotifOracle& oracle,
   if (options.track_network_sizes) {
     // Figure 9's x = -1: the network Algorithm 1 would build on all of G.
     result.stats.flow_network_sizes.push_back(
-        MakeDefaultFlowSolver(graph, oracle)->NumNodes());
+        MakeDefaultFlowSolver(graph, oracle, ctx)->NumNodes());
   }
 
   // Step 3: per-component binary search on ever-shrinking cores.
   const double global_gap = 1.0 / (static_cast<double>(n) * (n - 1));
   std::vector<VertexId> best = std::move(initial_best);
-  double best_density = MeasureDensity(graph, oracle, best);
+  double best_density = MeasureDensity(graph, oracle, best, ctx);
 
   for (std::vector<VertexId> component : components) {
+    if (ctx.ShouldStop()) break;
     uint64_t applied_level = core_level;
     if (CeilLevel(lower) > applied_level) {
       applied_level = CeilLevel(lower);
-      component = RestrictToCore(graph, oracle, component, applied_level);
+      component = RestrictToCore(graph, oracle, component, applied_level, ctx);
     }
     if (component.size() < 2) continue;
 
     Subgraph sub = InducedSubgraph(graph, component);
     std::unique_ptr<DensestFlowSolver> solver =
-        MakeDefaultFlowSolver(sub.graph, oracle);
+        MakeDefaultFlowSolver(sub.graph, oracle, ctx);
     if (options.track_network_sizes) {
       result.stats.flow_network_sizes.push_back(solver->NumNodes());
     }
@@ -153,7 +156,7 @@ DensestResult CoreExact(const Graph& graph, const MotifOracle& oracle,
             ? 1.0 / (static_cast<double>(component.size()) *
                      (static_cast<double>(component.size()) - 1))
             : global_gap;
-    while (upper - lower >= gap) {
+    while (upper - lower >= gap && !ctx.ShouldStop()) {
       const double alpha = (lower + upper) / 2.0;
       side = solver->Solve(alpha);
       ++result.stats.binary_search_iterations;
@@ -170,28 +173,31 @@ DensestResult CoreExact(const Graph& graph, const MotifOracle& oracle,
       // (Lemma 7): shrink the component and rebuild a smaller network.
       if (CeilLevel(alpha) > applied_level) {
         applied_level = CeilLevel(alpha);
-        component = RestrictToCore(graph, oracle, component, applied_level);
+        component =
+            RestrictToCore(graph, oracle, component, applied_level, ctx);
         if (component.size() < 2) break;
         sub = InducedSubgraph(graph, component);
-        solver = MakeDefaultFlowSolver(sub.graph, oracle);
+        solver = MakeDefaultFlowSolver(sub.graph, oracle, ctx);
       }
     }
 
-    const double candidate_density = MeasureDensity(graph, oracle, candidate);
+    const double candidate_density =
+        MeasureDensity(graph, oracle, candidate, ctx);
     if (candidate_density > best_density) {
       best_density = candidate_density;
       best = std::move(candidate);
     }
   }
 
-  FillResult(graph, oracle, std::move(best), result);
+  FillResult(graph, oracle, std::move(best), result, ctx);
   result.stats.total_seconds = total_timer.Seconds();
   return result;
 }
 
 DensestResult CorePExact(const Graph& graph, const PatternOracle& oracle,
-                         const CoreExactOptions& options) {
-  return CoreExact(graph, oracle, options);
+                         const CoreExactOptions& options,
+                         const ExecutionContext& ctx) {
+  return CoreExact(graph, oracle, options, ctx);
 }
 
 }  // namespace dsd

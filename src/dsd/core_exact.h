@@ -14,6 +14,7 @@
 #ifndef DSD_DSD_CORE_EXACT_H_
 #define DSD_DSD_CORE_EXACT_H_
 
+#include "dsd/execution_context.h"
 #include "dsd/motif_oracle.h"
 #include "dsd/result.h"
 #include "graph/graph.h"
@@ -41,13 +42,18 @@ struct CoreExactOptions {
 
 /// Exact CDS via (k, Psi)-cores (Algorithm 4). Works for any oracle; with a
 /// PatternOracle this is CorePExact (Section 7.2), using the construct+
-/// grouped flow network.
+/// grouped flow network. `ctx` parallelises/memoizes the oracle's degree
+/// and count passes (decomposition, core restriction, component measuring,
+/// network construction) and is polled between binary-search iterations for
+/// cooperative early exit (best-effort result; see dsd::Solve).
 DensestResult CoreExact(const Graph& graph, const MotifOracle& oracle,
-                        const CoreExactOptions& options = {});
+                        const CoreExactOptions& options = {},
+                        const ExecutionContext& ctx = ExecutionContext());
 
 /// Paper-named alias for the pattern instantiation.
 DensestResult CorePExact(const Graph& graph, const PatternOracle& oracle,
-                         const CoreExactOptions& options = {});
+                         const CoreExactOptions& options = {},
+                         const ExecutionContext& ctx = ExecutionContext());
 
 }  // namespace dsd
 

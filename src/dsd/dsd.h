@@ -34,14 +34,18 @@
 #include "core/nucleus.h"            // IWYU pragma: export
 #include "core/truss.h"              // IWYU pragma: export
 #include "dsd/brute_force.h"         // IWYU pragma: export
+#include "dsd/caching_oracle.h"      // IWYU pragma: export
 #include "dsd/core_app.h"            // IWYU pragma: export
 #include "dsd/core_exact.h"          // IWYU pragma: export
 #include "dsd/exact.h"               // IWYU pragma: export
+#include "dsd/execution_context.h"   // IWYU pragma: export
 #include "dsd/extensions.h"          // IWYU pragma: export
 #include "dsd/inc_app.h"             // IWYU pragma: export
 #include "dsd/measure.h"             // IWYU pragma: export
 #include "dsd/motif_core.h"          // IWYU pragma: export
 #include "dsd/motif_oracle.h"        // IWYU pragma: export
+#include "dsd/oracle_factory.h"      // IWYU pragma: export
+#include "dsd/parallel_oracle.h"     // IWYU pragma: export
 #include "dsd/peel_app.h"            // IWYU pragma: export
 #include "dsd/query_densest.h"       // IWYU pragma: export
 #include "dsd/result.h"              // IWYU pragma: export

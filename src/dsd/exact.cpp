@@ -13,7 +13,8 @@ namespace {
 
 // Finalizes a result: sorts vertices, measures the induced subgraph.
 void Finalize(const Graph& graph, const MotifOracle& oracle,
-              std::vector<VertexId> vertices, DensestResult& result) {
+              std::vector<VertexId> vertices, DensestResult& result,
+              const ExecutionContext& ctx) {
   std::sort(vertices.begin(), vertices.end());
   result.vertices = std::move(vertices);
   if (result.vertices.empty()) {
@@ -22,23 +23,24 @@ void Finalize(const Graph& graph, const MotifOracle& oracle,
     return;
   }
   Subgraph sub = InducedSubgraph(graph, result.vertices);
-  result.instances = oracle.CountInstances(sub.graph, {});
+  result.instances = oracle.CountInstances(sub.graph, {}, ctx);
   result.density = static_cast<double>(result.instances) /
                    static_cast<double>(result.vertices.size());
 }
 
 DensestResult ExactWithSolver(const Graph& graph, const MotifOracle& oracle,
-                              std::unique_ptr<DensestFlowSolver> solver) {
+                              std::unique_ptr<DensestFlowSolver> solver,
+                              const ExecutionContext& ctx) {
   Timer timer;
   DensestResult result;
   const VertexId n = graph.NumVertices();
   if (n < 2) {
-    Finalize(graph, oracle, {}, result);
+    Finalize(graph, oracle, {}, result, ctx);
     result.stats.total_seconds = timer.Seconds();
     return result;
   }
 
-  std::vector<uint64_t> degrees = oracle.Degrees(graph, {});
+  std::vector<uint64_t> degrees = oracle.Degrees(graph, {}, ctx);
   double u = 0.0;
   for (uint64_t d : degrees) u = std::max(u, static_cast<double>(d));
   double l = 0.0;
@@ -46,7 +48,7 @@ DensestResult ExactWithSolver(const Graph& graph, const MotifOracle& oracle,
 
   result.stats.flow_network_sizes.push_back(solver->NumNodes());
   std::vector<VertexId> best;
-  while (u - l >= gap) {
+  while (u - l >= gap && !ctx.ShouldStop()) {
     const double alpha = (l + u) / 2.0;
     std::vector<VertexId> side = solver->Solve(alpha);
     ++result.stats.binary_search_iterations;
@@ -57,20 +59,24 @@ DensestResult ExactWithSolver(const Graph& graph, const MotifOracle& oracle,
       best = std::move(side);
     }
   }
-  Finalize(graph, oracle, std::move(best), result);
+  Finalize(graph, oracle, std::move(best), result, ctx);
   result.stats.total_seconds = timer.Seconds();
   return result;
 }
 
 }  // namespace
 
-DensestResult Exact(const Graph& graph, const MotifOracle& oracle) {
-  return ExactWithSolver(graph, oracle, MakeDefaultFlowSolver(graph, oracle));
+DensestResult Exact(const Graph& graph, const MotifOracle& oracle,
+                    const ExecutionContext& ctx) {
+  return ExactWithSolver(graph, oracle,
+                         MakeDefaultFlowSolver(graph, oracle, ctx), ctx);
 }
 
-DensestResult PExact(const Graph& graph, const PatternOracle& oracle) {
+DensestResult PExact(const Graph& graph, const PatternOracle& oracle,
+                     const ExecutionContext& ctx) {
   return ExactWithSolver(
-      graph, oracle, MakePatternFlowSolver(graph, oracle, /*grouped=*/false));
+      graph, oracle,
+      MakePatternFlowSolver(graph, oracle, /*grouped=*/false, ctx), ctx);
 }
 
 }  // namespace dsd

@@ -7,6 +7,7 @@
 #ifndef DSD_DSD_EXACT_H_
 #define DSD_DSD_EXACT_H_
 
+#include "dsd/execution_context.h"
 #include "dsd/motif_oracle.h"
 #include "dsd/result.h"
 #include "graph/graph.h"
@@ -16,12 +17,18 @@ namespace dsd {
 /// Exact CDS/PDS via whole-graph binary search (Algorithm 1).
 /// Uses the EDS network for 2-cliques, Algorithm 1's clique network for
 /// larger cliques and the grouped pattern network otherwise.
-DensestResult Exact(const Graph& graph, const MotifOracle& oracle);
+/// `ctx` parallelises the degree computations through the oracle and is
+/// polled between binary-search iterations (a stopped run returns the best
+/// candidate found so far — only meaningful when the result will be
+/// discarded, as dsd::Solve does on a blown deadline).
+DensestResult Exact(const Graph& graph, const MotifOracle& oracle,
+                    const ExecutionContext& ctx = ExecutionContext());
 
 /// PExact (Algorithm 8): like Exact but with one flow-network node per
 /// pattern instance (no vertex-set grouping). The baseline CorePExact is
 /// compared against in Figure 15.
-DensestResult PExact(const Graph& graph, const PatternOracle& oracle);
+DensestResult PExact(const Graph& graph, const PatternOracle& oracle,
+                     const ExecutionContext& ctx = ExecutionContext());
 
 }  // namespace dsd
 

@@ -1,0 +1,86 @@
+// ExecutionContext: the execution policy of one solve, made explicit in the
+// API (threads, deadline, cooperative cancellation).
+//
+// The paper's Section 6.3 parallelizability claim lives in src/parallel/ as
+// standalone kernels; the context is how the public API reaches them. Every
+// hot oracle query (MotifOracle::Degrees / CountInstances) takes a context
+// and a parallel-capable oracle dispatches on ctx.threads, so one knob at
+// the SolveRequest level buys wall-clock speedup everywhere those queries
+// dominate. The deadline and cancel flag give long runs a cooperative stop:
+// algorithms poll ShouldStop() at loop granularity and bail out with their
+// best answer so far (dsd::Solve then reports DeadlineExceeded instead of
+// returning the truncated result).
+#ifndef DSD_DSD_EXECUTION_CONTEXT_H_
+#define DSD_DSD_EXECUTION_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+
+namespace dsd {
+
+/// Per-run execution policy, passed (by const reference) through
+/// Solver::Run into the oracle's hot queries. Copyable and cheap; the
+/// default-constructed context means "sequential, no deadline, not
+/// cancellable" and is what every legacy call site gets implicitly.
+struct ExecutionContext {
+  using Clock = std::chrono::steady_clock;
+
+  /// Effective worker budget for parallel-capable oracles; always >= 1.
+  /// This is a resolved count (the 0 = "auto" substitution happens at the
+  /// SolveRequest boundary), so oracles use it as-is, clamping only by the
+  /// work actually available (e.g. vertex count).
+  unsigned threads = 1;
+
+  /// Wall-clock deadline; the epoch value (default) means "none".
+  Clock::time_point deadline{};
+
+  /// Optional external kill switch. The pointee must outlive every run that
+  /// sees this context. nullptr means "not cancellable".
+  const std::atomic<bool>* cancelled = nullptr;
+
+  /// A sequential context: 1 thread, no deadline, no cancel flag.
+  static ExecutionContext Sequential() { return ExecutionContext(); }
+
+  /// Copy of this context with a different worker budget (0 is normalised
+  /// to 1: the context always names a concrete count).
+  ExecutionContext WithThreads(unsigned t) const {
+    ExecutionContext ctx = *this;
+    ctx.threads = t > 0 ? t : 1;
+    return ctx;
+  }
+
+  /// Copy of this context expiring `seconds` from now (<= 0 expires
+  /// immediately, matching "the budget is already spent").
+  ExecutionContext WithDeadlineAfter(double seconds) const {
+    ExecutionContext ctx = *this;
+    ctx.deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double>(seconds));
+    return ctx;
+  }
+
+  /// Copy of this context observing `flag` as a kill switch.
+  ExecutionContext WithCancelFlag(const std::atomic<bool>* flag) const {
+    ExecutionContext ctx = *this;
+    ctx.cancelled = flag;
+    return ctx;
+  }
+
+  bool HasDeadline() const { return deadline != Clock::time_point{}; }
+
+  /// True once the deadline has passed (false when none is set).
+  bool Expired() const { return HasDeadline() && Clock::now() >= deadline; }
+
+  /// True once the cancel flag has been raised (false when none is set).
+  bool Cancelled() const {
+    return cancelled != nullptr && cancelled->load(std::memory_order_relaxed);
+  }
+
+  /// The cooperative-stop poll: cancelled or past deadline. Algorithms call
+  /// this at iteration granularity and return their best-so-far answer when
+  /// it fires; exactness claims hold only for runs where it never fired.
+  bool ShouldStop() const { return Cancelled() || Expired(); }
+};
+
+}  // namespace dsd
+
+#endif  // DSD_DSD_EXECUTION_CONTEXT_H_

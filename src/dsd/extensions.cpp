@@ -11,19 +11,24 @@
 namespace dsd {
 
 DensestResult DensestAtLeast(const Graph& graph, const MotifOracle& oracle,
-                             VertexId min_size) {
+                             VertexId min_size,
+                             const ExecutionContext& ctx) {
   Timer timer;
   DensestResult result;
-  MotifCoreDecomposition decomposition = MotifCoreDecompose(graph, oracle);
+  MotifCoreDecomposition decomposition =
+      MotifCoreDecompose(graph, oracle, ctx);
   result.stats.kmax =
       static_cast<uint32_t>(std::min<uint64_t>(decomposition.kmax, UINT32_MAX));
 
   // Scan residual graphs (suffixes of the removal order) that still have at
-  // least min_size vertices; keep the densest.
+  // least min_size vertices; keep the densest. residual_density may be
+  // shorter than removal_order when the decomposition was deadline-
+  // truncated — only measured suffixes are candidates.
   const size_t n = decomposition.removal_order.size();
   size_t best_start = 0;
   double best_density = -1.0;
-  for (size_t start = 0; start < n; ++start) {
+  for (size_t start = 0; start < decomposition.residual_density.size();
+       ++start) {
     if (n - start < min_size) break;
     if (decomposition.residual_density[start] > best_density) {
       best_density = decomposition.residual_density[start];
@@ -34,20 +39,20 @@ DensestResult DensestAtLeast(const Graph& graph, const MotifOracle& oracle,
     // Graph smaller than min_size: best effort is the whole vertex set.
     std::vector<VertexId> all(graph.NumVertices());
     for (VertexId v = 0; v < graph.NumVertices(); ++v) all[v] = v;
-    FillResult(graph, oracle, std::move(all), result);
+    FillResult(graph, oracle, std::move(all), result, ctx);
   } else {
     std::vector<VertexId> vertices(
         decomposition.removal_order.begin() +
             static_cast<ptrdiff_t>(best_start),
         decomposition.removal_order.end());
-    FillResult(graph, oracle, std::move(vertices), result);
+    FillResult(graph, oracle, std::move(vertices), result, ctx);
   }
   result.stats.total_seconds = timer.Seconds();
   return result;
 }
 
 DensestResult StreamApp(const Graph& graph, const MotifOracle& oracle,
-                        double eps) {
+                        double eps, const ExecutionContext& ctx) {
   assert(eps > 0);
   Timer timer;
   DensestResult result;
@@ -58,9 +63,9 @@ DensestResult StreamApp(const Graph& graph, const MotifOracle& oracle,
   std::vector<VertexId> best;
   double best_density = -1.0;
 
-  while (!current.empty()) {
+  while (!current.empty() && !ctx.ShouldStop()) {
     Subgraph sub = InducedSubgraph(graph, current);
-    const uint64_t instances = oracle.CountInstances(sub.graph, {});
+    const uint64_t instances = oracle.CountInstances(sub.graph, {}, ctx);
     const double density =
         static_cast<double>(instances) / static_cast<double>(current.size());
     if (density > best_density) {
@@ -70,7 +75,7 @@ DensestResult StreamApp(const Graph& graph, const MotifOracle& oracle,
     if (instances == 0) break;
     // One pass: drop everything below the (1+eps) * h * rho threshold.
     const double threshold = (1.0 + eps) * h * density;
-    std::vector<uint64_t> degrees = oracle.Degrees(sub.graph, {});
+    std::vector<uint64_t> degrees = oracle.Degrees(sub.graph, {}, ctx);
     std::vector<VertexId> next;
     next.reserve(current.size());
     for (VertexId i = 0; i < sub.graph.NumVertices(); ++i) {
@@ -83,7 +88,7 @@ DensestResult StreamApp(const Graph& graph, const MotifOracle& oracle,
     ++result.stats.binary_search_iterations;  // reused as "pass count"
   }
 
-  FillResult(graph, oracle, std::move(best), result);
+  FillResult(graph, oracle, std::move(best), result, ctx);
   result.stats.total_seconds = timer.Seconds();
   return result;
 }

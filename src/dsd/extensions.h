@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "dsd/execution_context.h"
 #include "dsd/motif_oracle.h"
 #include "dsd/result.h"
 #include "graph/graph.h"
@@ -26,12 +27,16 @@ namespace dsd {
 /// the densest residual of the peeling order among those large enough.
 /// For min_size <= 1 this is exactly PeelApp.
 DensestResult DensestAtLeast(const Graph& graph, const MotifOracle& oracle,
-                             VertexId min_size);
+                             VertexId min_size,
+                             const ExecutionContext& ctx = ExecutionContext());
 
 /// Bahmani-style multi-pass peeling with slack eps > 0. Larger eps = fewer
 /// passes, weaker guarantee.
+/// The context is polled between passes; its thread budget is ignored by
+/// design — the algorithm models sequential streaming passes over storage.
 DensestResult StreamApp(const Graph& graph, const MotifOracle& oracle,
-                        double eps = 0.1);
+                        double eps = 0.1,
+                        const ExecutionContext& ctx = ExecutionContext());
 
 }  // namespace dsd
 

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "clique/clique_enumerator.h"
+#include "dsd/parallel_oracle.h"
 #include "flow/max_flow.h"
 
 namespace dsd {
@@ -76,15 +77,18 @@ class EdsFlowSolver : public DensestFlowSolver {
 // (h-1)-clique instances.
 class CliqueFlowSolver : public DensestFlowSolver {
  public:
-  CliqueFlowSolver(const Graph& graph, int h) : n_(graph.NumVertices()), h_(h) {
+  CliqueFlowSolver(const Graph& graph, int h, std::vector<uint64_t> degrees)
+      : n_(graph.NumVertices()), h_(h) {
     assert(h >= 3);
-    // Collect Lambda = (h-1)-cliques and the h-clique degrees.
+    assert(degrees.size() == graph.NumVertices());
+    // Collect Lambda = (h-1)-cliques; `degrees` are the h-clique degrees,
+    // supplied by the caller so the pass can run on a parallel or caching
+    // oracle instead of a fresh sequential enumeration.
     std::vector<std::vector<VertexId>> lambda;
     CliqueEnumerator sub_cliques(graph, h - 1);
     sub_cliques.Enumerate([&lambda](std::span<const VertexId> c) {
       lambda.emplace_back(c.begin(), c.end());
     });
-    std::vector<uint64_t> degrees = CliqueEnumerator(graph, h).Degrees();
 
     const NodeId num_nodes =
         static_cast<NodeId>(n_) + static_cast<NodeId>(lambda.size()) + 2;
@@ -153,7 +157,7 @@ class CliqueFlowSolver : public DensestFlowSolver {
 class PatternFlowSolver : public DensestFlowSolver {
  public:
   PatternFlowSolver(const Graph& graph, const MotifOracle& oracle,
-                    bool grouped)
+                    bool grouped, const ExecutionContext& ctx)
       : n_(graph.NumVertices()), motif_size_(oracle.MotifSize()) {
     std::vector<InstanceGroup> groups = oracle.Groups(graph, {});
     if (!grouped) {
@@ -167,7 +171,7 @@ class PatternFlowSolver : public DensestFlowSolver {
       }
       groups = std::move(expanded);
     }
-    std::vector<uint64_t> degrees = oracle.Degrees(graph, {});
+    std::vector<uint64_t> degrees = oracle.Degrees(graph, {}, ctx);
 
     const NodeId num_nodes =
         static_cast<NodeId>(n_) + static_cast<NodeId>(groups.size()) + 2;
@@ -220,23 +224,34 @@ std::unique_ptr<DensestFlowSolver> MakeEdsFlowSolver(const Graph& graph) {
   return std::make_unique<EdsFlowSolver>(graph);
 }
 
-std::unique_ptr<DensestFlowSolver> MakeCliqueFlowSolver(const Graph& graph,
-                                                        int h) {
-  return std::make_unique<CliqueFlowSolver>(graph, h);
+std::unique_ptr<DensestFlowSolver> MakeCliqueFlowSolver(
+    const Graph& graph, int h, const ExecutionContext& ctx) {
+  // One dispatch path for the degree pass: the parallel oracle degrades to
+  // the sequential enumeration under a 1-thread context.
+  ParallelCliqueOracle oracle(h);
+  return std::make_unique<CliqueFlowSolver>(graph, h,
+                                            oracle.Degrees(graph, {}, ctx));
 }
 
 std::unique_ptr<DensestFlowSolver> MakePatternFlowSolver(
-    const Graph& graph, const MotifOracle& oracle, bool grouped) {
-  return std::make_unique<PatternFlowSolver>(graph, oracle, grouped);
+    const Graph& graph, const MotifOracle& oracle, bool grouped,
+    const ExecutionContext& ctx) {
+  return std::make_unique<PatternFlowSolver>(graph, oracle, grouped, ctx);
 }
 
 std::unique_ptr<DensestFlowSolver> MakeDefaultFlowSolver(
-    const Graph& graph, const MotifOracle& oracle) {
-  if (const auto* clique = dynamic_cast<const CliqueOracle*>(&oracle)) {
+    const Graph& graph, const MotifOracle& oracle,
+    const ExecutionContext& ctx) {
+  // Dispatch on the undecorated oracle so a CachingOracle around a clique
+  // oracle still gets the clique network; the degree pass itself goes
+  // through the decorated `oracle`, keeping memoization and parallelism.
+  if (const auto* clique =
+          dynamic_cast<const CliqueOracle*>(&oracle.Underlying())) {
     if (clique->h() == 2) return MakeEdsFlowSolver(graph);
-    return MakeCliqueFlowSolver(graph, clique->h());
+    return std::make_unique<CliqueFlowSolver>(graph, clique->h(),
+                                              oracle.Degrees(graph, {}, ctx));
   }
-  return MakePatternFlowSolver(graph, oracle, /*grouped=*/true);
+  return MakePatternFlowSolver(graph, oracle, /*grouped=*/true, ctx);
 }
 
 }  // namespace dsd

@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "dsd/execution_context.h"
 #include "dsd/motif_oracle.h"
 #include "graph/graph.h"
 
@@ -54,21 +55,28 @@ std::unique_ptr<DensestFlowSolver> MakeEdsFlowSolver(const Graph& graph);
 /// Algorithm 1's clique network: nodes {s} ∪ V ∪ Λ ∪ {t} with Λ the
 /// (h-1)-clique instances; s->v cap deg(v, Psi), v->t cap alpha*h,
 /// psi->member cap +inf, v->psi cap 1 when {v} ∪ psi is an h-clique.
-std::unique_ptr<DensestFlowSolver> MakeCliqueFlowSolver(const Graph& graph,
-                                                        int h);
+/// `ctx` parallelises the h-clique degree pass of the construction.
+std::unique_ptr<DensestFlowSolver> MakeCliqueFlowSolver(
+    const Graph& graph, int h,
+    const ExecutionContext& ctx = ExecutionContext());
 
 /// Pattern network over the oracle's instances. grouped = false gives
 /// Algorithm 8 (PExact): one node per instance, v->psi cap 1,
 /// psi->v cap |V_Psi| - 1. grouped = true gives construct+ (Algorithm 7):
 /// one node per vertex-set group g, v->g cap |g|, g->v cap |g|(|V_Psi|-1).
 std::unique_ptr<DensestFlowSolver> MakePatternFlowSolver(
-    const Graph& graph, const MotifOracle& oracle, bool grouped);
+    const Graph& graph, const MotifOracle& oracle, bool grouped,
+    const ExecutionContext& ctx = ExecutionContext());
 
 /// The construction each oracle's exact algorithms use by default:
 /// EDS network for 2-cliques, Algorithm 1 for larger cliques, construct+
-/// for general patterns.
+/// for general patterns. Dispatches on the oracle's Underlying() type, so
+/// decorators (CachingOracle) keep the clique fast path; the degree pass
+/// goes through `oracle` itself, which is how a parallel or caching oracle
+/// accelerates network construction.
 std::unique_ptr<DensestFlowSolver> MakeDefaultFlowSolver(
-    const Graph& graph, const MotifOracle& oracle);
+    const Graph& graph, const MotifOracle& oracle,
+    const ExecutionContext& ctx = ExecutionContext());
 
 }  // namespace dsd
 

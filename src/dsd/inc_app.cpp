@@ -6,17 +6,19 @@
 
 namespace dsd {
 
-DensestResult IncApp(const Graph& graph, const MotifOracle& oracle) {
+DensestResult IncApp(const Graph& graph, const MotifOracle& oracle,
+                     const ExecutionContext& ctx) {
   Timer timer;
   DensestResult result;
-  MotifCoreDecomposition decomposition = MotifCoreDecompose(graph, oracle);
+  MotifCoreDecomposition decomposition =
+      MotifCoreDecompose(graph, oracle, ctx);
   result.stats.kmax =
       static_cast<uint32_t>(std::min<uint64_t>(decomposition.kmax, UINT32_MAX));
   if (decomposition.kmax > 0) {
     FillResult(graph, oracle, decomposition.CoreVertices(decomposition.kmax),
-               result);
+               result, ctx);
   } else {
-    FillResult(graph, oracle, {}, result);
+    FillResult(graph, oracle, {}, result, ctx);
   }
   result.stats.total_seconds = timer.Seconds();
   return result;

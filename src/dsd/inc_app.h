@@ -3,6 +3,7 @@
 #ifndef DSD_DSD_INC_APP_H_
 #define DSD_DSD_INC_APP_H_
 
+#include "dsd/execution_context.h"
 #include "dsd/motif_oracle.h"
 #include "dsd/result.h"
 #include "graph/graph.h"
@@ -10,7 +11,11 @@
 namespace dsd {
 
 /// Returns the (kmax, Psi)-core computed bottom-up via Algorithm 3.
-DensestResult IncApp(const Graph& graph, const MotifOracle& oracle);
+/// Algorithm 5 is the sequential bottom-up baseline; it accepts a context
+/// for deadline/cancel polling but runs its oracle queries on one thread
+/// (dsd::Solve's "inc-app" entry pins the context to 1 thread).
+DensestResult IncApp(const Graph& graph, const MotifOracle& oracle,
+                     const ExecutionContext& ctx = ExecutionContext());
 
 }  // namespace dsd
 

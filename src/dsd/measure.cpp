@@ -7,24 +7,27 @@
 namespace dsd {
 
 uint64_t MeasureInstances(const Graph& graph, const MotifOracle& oracle,
-                          std::span<const VertexId> vertices) {
+                          std::span<const VertexId> vertices,
+                          const ExecutionContext& ctx) {
   if (vertices.empty()) return 0;
   Subgraph sub = InducedSubgraph(graph, vertices);
-  return oracle.CountInstances(sub.graph, {});
+  return oracle.CountInstances(sub.graph, {}, ctx);
 }
 
 double MeasureDensity(const Graph& graph, const MotifOracle& oracle,
-                      std::span<const VertexId> vertices) {
+                      std::span<const VertexId> vertices,
+                      const ExecutionContext& ctx) {
   if (vertices.empty()) return 0.0;
-  return static_cast<double>(MeasureInstances(graph, oracle, vertices)) /
+  return static_cast<double>(MeasureInstances(graph, oracle, vertices, ctx)) /
          static_cast<double>(vertices.size());
 }
 
 void FillResult(const Graph& graph, const MotifOracle& oracle,
-                std::vector<VertexId> vertices, DensestResult& result) {
+                std::vector<VertexId> vertices, DensestResult& result,
+                const ExecutionContext& ctx) {
   std::sort(vertices.begin(), vertices.end());
   result.vertices = std::move(vertices);
-  result.instances = MeasureInstances(graph, oracle, result.vertices);
+  result.instances = MeasureInstances(graph, oracle, result.vertices, ctx);
   result.density =
       result.vertices.empty()
           ? 0.0

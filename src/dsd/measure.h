@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "dsd/execution_context.h"
 #include "dsd/motif_oracle.h"
 #include "dsd/result.h"
 #include "graph/graph.h"
@@ -13,15 +14,18 @@ namespace dsd {
 
 /// mu(G[vertices], Psi): instances inside the induced subgraph.
 uint64_t MeasureInstances(const Graph& graph, const MotifOracle& oracle,
-                          std::span<const VertexId> vertices);
+                          std::span<const VertexId> vertices,
+                          const ExecutionContext& ctx = ExecutionContext());
 
 /// rho(G[vertices], Psi); 0 for the empty set.
 double MeasureDensity(const Graph& graph, const MotifOracle& oracle,
-                      std::span<const VertexId> vertices);
+                      std::span<const VertexId> vertices,
+                      const ExecutionContext& ctx = ExecutionContext());
 
 /// Fills result.vertices (sorted), result.instances and result.density.
 void FillResult(const Graph& graph, const MotifOracle& oracle,
-                std::vector<VertexId> vertices, DensestResult& result);
+                std::vector<VertexId> vertices, DensestResult& result,
+                const ExecutionContext& ctx = ExecutionContext());
 
 }  // namespace dsd
 

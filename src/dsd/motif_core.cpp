@@ -26,7 +26,8 @@ std::vector<VertexId> MotifCoreDecomposition::BestResidualVertices() const {
 }
 
 MotifCoreDecomposition MotifCoreDecompose(const Graph& graph,
-                                          const MotifOracle& oracle) {
+                                          const MotifOracle& oracle,
+                                          const ExecutionContext& ctx) {
   const VertexId n = graph.NumVertices();
   MotifCoreDecomposition result;
   result.core.assign(n, 0);
@@ -34,7 +35,7 @@ MotifCoreDecomposition MotifCoreDecompose(const Graph& graph,
   result.residual_density.reserve(n);
   if (n == 0) return result;
 
-  std::vector<uint64_t> degree = oracle.Degrees(graph, {});
+  std::vector<uint64_t> degree = oracle.Degrees(graph, {}, ctx);
   uint64_t remaining_instances = 0;
   for (uint64_t d : degree) remaining_instances += d;
   assert(remaining_instances % oracle.MotifSize() == 0);
@@ -53,8 +54,17 @@ MotifCoreDecomposition MotifCoreDecompose(const Graph& graph,
   std::vector<VertexId> touched;
   uint64_t k = 0;
   VertexId remaining_vertices = n;
+  uint32_t pops = 0;
+  bool stopped = false;
 
   while (!heap.empty()) {
+    // Deadline/cancel poll at removal granularity (amortised: each check is
+    // a clock read, so sample every 64 removals). A truncated decomposition
+    // is documented as best-effort only.
+    if ((++pops & 63u) == 0 && ctx.ShouldStop()) {
+      stopped = true;
+      break;
+    }
     auto [d, v] = heap.top();
     heap.pop();
     if (!alive[v] || d != degree[v]) continue;  // stale
@@ -88,7 +98,19 @@ MotifCoreDecomposition MotifCoreDecompose(const Graph& graph,
       heap.emplace(degree[u], u);
     }
   }
-  assert(remaining_instances == 0);
+  assert(stopped || remaining_instances == 0);
+  if (stopped) {
+    // Keep removal_order a permutation of V so the suffix invariant behind
+    // BestResidualVertices()/DensestAtLeast still holds: the recorded
+    // residual densities were measured on "peeled suffix + everything still
+    // alive", so the alive remainder must be part of every suffix. No
+    // density entries are recorded for the unpeeled tail and core numbers
+    // of unpeeled vertices stay at their last value — a truncated
+    // decomposition is best-effort only (see header).
+    for (VertexId v = 0; v < n; ++v) {
+      if (alive[v]) result.removal_order.push_back(v);
+    }
+  }
   result.kmax = k;
   return result;
 }
@@ -96,16 +118,21 @@ MotifCoreDecomposition MotifCoreDecompose(const Graph& graph,
 std::vector<VertexId> RestrictToCore(const Graph& graph,
                                      const MotifOracle& oracle,
                                      const std::vector<VertexId>& vertices,
-                                     uint64_t k) {
+                                     uint64_t k,
+                                     const ExecutionContext& ctx) {
   // Batch rounds: recompute degrees on the survivor set, drop every vertex
   // below k, repeat to fixpoint. Unlike incremental peeling this costs
   // nothing per *removed* vertex — crucial for CoreApp, whose windows are
   // peeled at a level that usually annihilates them outright.
   std::vector<VertexId> survivors(vertices);
   std::sort(survivors.begin(), survivors.end());
-  while (!survivors.empty()) {
+  // The deadline poll matters here: each round is a full motif-degree pass,
+  // so an unpolled fixpoint loop could overshoot a blown budget by many
+  // passes. A stopped run returns the not-yet-fixpoint survivor set — a
+  // superset of the core, fine for best-effort callers.
+  while (!survivors.empty() && !ctx.ShouldStop()) {
     Subgraph sub = InducedSubgraph(graph, survivors);
-    std::vector<uint64_t> degree = oracle.Degrees(sub.graph, {});
+    std::vector<uint64_t> degree = oracle.Degrees(sub.graph, {}, ctx);
     std::vector<VertexId> next;
     next.reserve(survivors.size());
     for (VertexId v = 0; v < sub.graph.NumVertices(); ++v) {

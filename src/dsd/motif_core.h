@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dsd/execution_context.h"
 #include "dsd/motif_oracle.h"
 #include "graph/graph.h"
 
@@ -38,18 +39,29 @@ struct MotifCoreDecomposition {
 
 /// Full decomposition of `graph` w.r.t. the oracle's motif. Runs the peeling
 /// loop with a lazy min-heap; per removal the oracle enumerates the lost
-/// instances among still-alive vertices.
-MotifCoreDecomposition MotifCoreDecompose(const Graph& graph,
-                                          const MotifOracle& oracle);
+/// instances among still-alive vertices. The initial degree pass uses `ctx`
+/// (the one parallelizable step — the peeling chain itself is sequential by
+/// data dependence). ctx.ShouldStop() is polled periodically: a stopped run
+/// returns a TRUNCATED decomposition — removal_order is still a permutation
+/// of V (the unpeeled remainder is appended so suffix-based answers remain
+/// genuine residual subgraphs), but residual_density covers only the peeled
+/// prefix and unpeeled vertices keep their last core value — suitable only
+/// for best-effort answers whose caller discards over-deadline results, as
+/// dsd::Solve does.
+MotifCoreDecomposition MotifCoreDecompose(
+    const Graph& graph, const MotifOracle& oracle,
+    const ExecutionContext& ctx = ExecutionContext());
 
 /// Restricts `vertices` (ids of `graph`) to the (k, Psi)-core of the induced
 /// subgraph G[vertices]: iteratively drops members with motif-degree < k.
 /// Returns the surviving vertices, sorted. Used by CoreExact to tighten a
-/// connected component as the binary-search lower bound grows.
-std::vector<VertexId> RestrictToCore(const Graph& graph,
-                                     const MotifOracle& oracle,
-                                     const std::vector<VertexId>& vertices,
-                                     uint64_t k);
+/// connected component as the binary-search lower bound grows. Each round
+/// is one whole-subgraph degree pass — exactly the query `ctx` parallelises
+/// and a CachingOracle memoizes.
+std::vector<VertexId> RestrictToCore(
+    const Graph& graph, const MotifOracle& oracle,
+    const std::vector<VertexId>& vertices, uint64_t k,
+    const ExecutionContext& ctx = ExecutionContext());
 
 }  // namespace dsd
 

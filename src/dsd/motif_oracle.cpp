@@ -24,19 +24,17 @@ std::string CliqueOracle::Name() const {
   return std::to_string(h_) + "-clique";
 }
 
-std::vector<uint64_t> CliqueOracle::Degrees(const Graph& graph,
-                                            std::span<const char> alive) const {
+std::vector<uint64_t> CliqueOracle::DegreesImpl(const Graph& graph,
+                                                std::span<const char> alive,
+                                                const ExecutionContext&) const {
   return CliqueDegreesWithin(graph, h_, alive);
 }
 
-uint64_t CliqueOracle::CountInstances(const Graph& graph,
-                                      std::span<const char> alive) const {
+uint64_t CliqueOracle::CountInstancesImpl(const Graph& graph,
+                                          std::span<const char> alive,
+                                          const ExecutionContext&) const {
   if (alive.empty()) return CliqueEnumerator(graph, h_).Count();
-  std::vector<VertexId> alive_vertices;
-  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
-    if (alive[v]) alive_vertices.push_back(v);
-  }
-  Subgraph sub = InducedSubgraph(graph, alive_vertices);
+  Subgraph sub = InducedAliveSubgraph(graph, alive);
   return CliqueEnumerator(sub.graph, h_).Count();
 }
 
@@ -71,11 +69,7 @@ std::vector<InstanceGroup> CliqueOracle::Groups(
   if (alive.empty()) {
     emit(graph, nullptr);
   } else {
-    std::vector<VertexId> alive_vertices;
-    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
-      if (alive[v]) alive_vertices.push_back(v);
-    }
-    Subgraph sub = InducedSubgraph(graph, alive_vertices);
+    Subgraph sub = InducedAliveSubgraph(graph, alive);
     emit(sub.graph, &sub.to_parent);
   }
   return groups;
@@ -101,15 +95,17 @@ PatternOracle::PatternOracle(Pattern pattern, bool use_special_kernels)
   assert(pattern_.IsConnected());
 }
 
-std::vector<uint64_t> PatternOracle::Degrees(const Graph& graph,
-                                             std::span<const char> alive) const {
+std::vector<uint64_t> PatternOracle::DegreesImpl(
+    const Graph& graph, std::span<const char> alive,
+    const ExecutionContext&) const {
   if (star_tails_ >= 2) return StarDegrees(graph, star_tails_, alive);
   if (is_four_cycle_) return FourCycleDegrees(graph, alive);
   return EmbeddingEnumerator(graph, pattern_).Degrees(alive);
 }
 
-uint64_t PatternOracle::CountInstances(const Graph& graph,
-                                       std::span<const char> alive) const {
+uint64_t PatternOracle::CountInstancesImpl(const Graph& graph,
+                                           std::span<const char> alive,
+                                           const ExecutionContext&) const {
   if (star_tails_ >= 2) return StarCount(graph, star_tails_, alive);
   if (is_four_cycle_) return FourCycleCount(graph, alive);
   return EmbeddingEnumerator(graph, pattern_).CountInstances(alive);

@@ -7,6 +7,17 @@
 // (k, Psi)-cores). CliqueOracle is backed by the kClist enumerator;
 // PatternOracle by the generic embedding engine with specialised star/4-cycle
 // kernels (appendix D).
+//
+// Execution policy is part of the interface: the hot queries (Degrees and
+// CountInstances — the calls the exact and core algorithms hammer on
+// shrinking subgraphs) take an ExecutionContext, and implementations may
+// dispatch on ctx.threads to the src/parallel/ kernels. The public methods
+// are non-virtual shells with a sequential default context, so call sites
+// that predate the context — and oracles that are inherently sequential —
+// are unaffected; implementations override the protected *Impl hooks.
+// Decorators (CachingOracle) and parallel implementations
+// (ParallelCliqueOracle) live in their own headers; MakeOracle in
+// dsd/oracle_factory.h assembles the right stack for a request.
 #ifndef DSD_DSD_MOTIF_ORACLE_H_
 #define DSD_DSD_MOTIF_ORACLE_H_
 
@@ -17,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "dsd/execution_context.h"
 #include "graph/graph.h"
 #include "pattern/isomorphism.h"
 #include "pattern/pattern.h"
@@ -29,7 +41,8 @@ using PeelCallback = std::function<void(VertexId u, uint64_t count)>;
 
 /// Motif query interface. Implementations are stateless w.r.t. any particular
 /// graph; every method takes the graph (and an optional alive mask — empty
-/// means all vertices alive) explicitly.
+/// means all vertices alive) explicitly. One oracle instance may serve
+/// concurrent solves, so implementations must be const-thread-safe.
 class MotifOracle {
  public:
   virtual ~MotifOracle() = default;
@@ -41,16 +54,26 @@ class MotifOracle {
   virtual std::string Name() const = 0;
 
   /// Motif-degree deg(v, Psi) for every vertex, restricted to alive.
-  virtual std::vector<uint64_t> Degrees(const Graph& graph,
-                                        std::span<const char> alive) const = 0;
+  /// The result is independent of ctx.threads (parallel implementations are
+  /// bit-identical to sequential ones); ctx only buys wall-clock time.
+  std::vector<uint64_t> Degrees(
+      const Graph& graph, std::span<const char> alive,
+      const ExecutionContext& ctx = ExecutionContext()) const {
+    return DegreesImpl(graph, alive, ctx);
+  }
 
-  /// mu(G, Psi) restricted to alive.
-  virtual uint64_t CountInstances(const Graph& graph,
-                                  std::span<const char> alive) const = 0;
+  /// mu(G, Psi) restricted to alive. Same ctx contract as Degrees.
+  uint64_t CountInstances(
+      const Graph& graph, std::span<const char> alive,
+      const ExecutionContext& ctx = ExecutionContext()) const {
+    return CountInstancesImpl(graph, alive, ctx);
+  }
 
   /// Reports, via `cb`, the per-vertex instance losses caused by removing `v`
   /// from the alive set (v itself excluded), and returns the total number of
   /// destroyed instances. `alive[v]` may already be cleared by the caller.
+  /// Inherently sequential (the peeling loop is a data dependence chain), so
+  /// it takes no context.
   virtual uint64_t PeelVertex(const Graph& graph, VertexId v,
                               std::span<const char> alive,
                               const PeelCallback& cb) const = 0;
@@ -65,21 +88,41 @@ class MotifOracle {
   /// (Section 6.2's gamma). Must satisfy bound[v] >= core(v, Psi).
   virtual std::vector<uint64_t> CoreNumberUpperBounds(
       const Graph& graph) const = 0;
+
+  /// Upper bound on the worker threads this oracle's hot queries can put to
+  /// work; 1 means sequential. dsd::Solve clamps the request's thread budget
+  /// by this when reporting the effective thread count.
+  virtual unsigned MaxUsefulThreads() const { return 1; }
+
+  /// The oracle whose algorithmic identity this one carries: decorators
+  /// (e.g. CachingOracle) return the wrapped oracle so dispatch-by-type —
+  /// MakeDefaultFlowSolver picking the clique network for CliqueOracles —
+  /// sees through them. Concrete oracles return *this.
+  virtual const MotifOracle& Underlying() const { return *this; }
+
+ protected:
+  /// Implementation hooks behind Degrees/CountInstances. `ctx` is advisory:
+  /// a sequential implementation simply ignores it.
+  virtual std::vector<uint64_t> DegreesImpl(const Graph& graph,
+                                            std::span<const char> alive,
+                                            const ExecutionContext& ctx)
+      const = 0;
+  virtual uint64_t CountInstancesImpl(const Graph& graph,
+                                      std::span<const char> alive,
+                                      const ExecutionContext& ctx) const = 0;
 };
 
 /// Oracle for h-cliques (h >= 2). gamma(v) = C(core(v), h-1), which bounds
 /// the clique-core number: the (k, Psi)-core has min edge-degree f(k) with
 /// C(f(k), h-1) >= k, so every member sits in the f(k)-core.
+/// Sequential; ParallelCliqueOracle (dsd/parallel_oracle.h) derives from
+/// this and dispatches the hot queries to the Section 6.3 kernels.
 class CliqueOracle : public MotifOracle {
  public:
   explicit CliqueOracle(int h);
 
   int MotifSize() const override { return h_; }
   std::string Name() const override;
-  std::vector<uint64_t> Degrees(const Graph& graph,
-                                std::span<const char> alive) const override;
-  uint64_t CountInstances(const Graph& graph,
-                          std::span<const char> alive) const override;
   uint64_t PeelVertex(const Graph& graph, VertexId v,
                       std::span<const char> alive,
                       const PeelCallback& cb) const override;
@@ -90,13 +133,21 @@ class CliqueOracle : public MotifOracle {
 
   int h() const { return h_; }
 
+ protected:
+  std::vector<uint64_t> DegreesImpl(const Graph& graph,
+                                    std::span<const char> alive,
+                                    const ExecutionContext& ctx) const override;
+  uint64_t CountInstancesImpl(const Graph& graph, std::span<const char> alive,
+                              const ExecutionContext& ctx) const override;
+
  private:
   int h_;
 };
 
 /// Oracle for arbitrary connected patterns. Uses the closed-form star /
 /// 4-cycle kernels of appendix D when the pattern allows, the generic
-/// embedding enumerator otherwise.
+/// embedding enumerator otherwise. Sequential (the embedding engine has no
+/// parallel kernel yet), so it ignores ctx.threads.
 class PatternOracle : public MotifOracle {
  public:
   /// use_special_kernels = false forces the generic embedding engine even
@@ -105,10 +156,6 @@ class PatternOracle : public MotifOracle {
 
   int MotifSize() const override { return pattern_.size(); }
   std::string Name() const override { return pattern_.name(); }
-  std::vector<uint64_t> Degrees(const Graph& graph,
-                                std::span<const char> alive) const override;
-  uint64_t CountInstances(const Graph& graph,
-                          std::span<const char> alive) const override;
   uint64_t PeelVertex(const Graph& graph, VertexId v,
                       std::span<const char> alive,
                       const PeelCallback& cb) const override;
@@ -118,6 +165,13 @@ class PatternOracle : public MotifOracle {
       const Graph& graph) const override;
 
   const Pattern& pattern() const { return pattern_; }
+
+ protected:
+  std::vector<uint64_t> DegreesImpl(const Graph& graph,
+                                    std::span<const char> alive,
+                                    const ExecutionContext& ctx) const override;
+  uint64_t CountInstancesImpl(const Graph& graph, std::span<const char> alive,
+                              const ExecutionContext& ctx) const override;
 
  private:
   Pattern pattern_;

@@ -1,0 +1,94 @@
+// OracleFactory / MakeOracle: the one place that turns a motif name and an
+// execution policy into a ready-to-run MotifOracle stack.
+//
+// Mirrors the SolverRegistry design on the oracle side: a process-wide
+// registry maps motif names to builders, pre-populated with the paper's
+// vocabulary (h-cliques 2..9 with the edge/triangle aliases, and the named
+// patterns), and embedders may register their own motifs under fresh names.
+// The factory — not the caller — decides which implementation serves a
+// request: a thread budget > 1 picks the parallel clique kernels for clique
+// motifs, and the caching decorator is layered on top for motifs whose
+// queries are expensive enough to memoize. dsd::Solve routes every request
+// through here, so execution policy set on a SolveRequest reaches the
+// oracle without any call site knowing the concrete types.
+#ifndef DSD_DSD_ORACLE_FACTORY_H_
+#define DSD_DSD_ORACLE_FACTORY_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dsd/motif_oracle.h"
+#include "util/status.h"
+
+namespace dsd {
+
+/// How the oracle for one run should execute.
+struct OracleOptions {
+  /// Resolved worker-thread budget. > 1 selects implementations backed by
+  /// the src/parallel/ kernels where they exist (clique motifs); motifs
+  /// without a parallel kernel are built sequential regardless.
+  unsigned threads = 1;
+
+  /// Wrap the oracle in a memoizing CachingOracle. Applied only when a
+  /// query costs more than the O(n + m) content hash that keys the cache —
+  /// i.e. motifs of size >= 3; for the edge motif a degree scan is already
+  /// linear and the decorator is skipped.
+  bool cache = false;
+
+  /// Byte budget for the cache's memoized vectors (see CachingOracle).
+  size_t cache_budget_bytes = size_t{64} << 20;
+
+  /// PatternOracle toggle: false forces the generic embedding engine even
+  /// for stars and 4-cycles (the bench_ablation baseline).
+  bool use_special_kernels = true;
+};
+
+/// Name -> oracle-builder registry. Global() comes pre-populated with the
+/// paper's motif vocabulary; registration and lookup are mutex-guarded.
+class OracleFactory {
+ public:
+  /// Builds the bare oracle for one registered name. The factory applies
+  /// policy decorators (caching) on top, so builders only pick the concrete
+  /// implementation (e.g. sequential vs parallel) from the options.
+  using Builder =
+      std::function<std::unique_ptr<MotifOracle>(const OracleOptions&)>;
+
+  /// The shared factory with the built-in motif vocabulary.
+  static OracleFactory& Global();
+
+  /// Registers `builder` under `name`; InvalidArgument if the name is
+  /// empty or already taken.
+  Status Register(std::string name, Builder builder);
+
+  /// Builds the oracle stack for `name`: the registered builder's oracle,
+  /// wrapped per `options`. NotFound for unknown names; InvalidArgument for
+  /// recognisable-but-malformed clique spellings ("03-clique", "12-clique")
+  /// so diagnostics distinguish typos from unsupported sizes.
+  StatusOr<std::unique_ptr<MotifOracle>> Make(
+      const std::string& name, const OracleOptions& options = {}) const;
+
+  /// All registered names, in registration (listing) order.
+  std::vector<std::string> Names() const;
+
+  OracleFactory() = default;
+  OracleFactory(const OracleFactory&) = delete;
+  OracleFactory& operator=(const OracleFactory&) = delete;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, Builder>> builders_;
+};
+
+/// Convenience shell over OracleFactory::Global().Make(): the entry point
+/// embedders and dsd::Solve use to obtain an oracle for a motif name.
+StatusOr<std::unique_ptr<MotifOracle>> MakeOracle(
+    const std::string& motif, const OracleOptions& options = {});
+
+}  // namespace dsd
+
+#endif  // DSD_DSD_ORACLE_FACTORY_H_

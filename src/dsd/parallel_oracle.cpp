@@ -1,0 +1,38 @@
+#include "dsd/parallel_oracle.h"
+
+#include "graph/subgraph.h"
+#include "parallel/parallel_clique.h"
+
+namespace dsd {
+
+// Alive-masked queries reduce to whole-graph kernel runs on the induced
+// alive subgraph (InducedAliveSubgraph — the same reduction the sequential
+// oracle uses), keeping the kernels' per-root partitioning intact.
+
+std::vector<uint64_t> ParallelCliqueOracle::DegreesImpl(
+    const Graph& graph, std::span<const char> alive,
+    const ExecutionContext& ctx) const {
+  if (ctx.threads <= 1) return CliqueOracle::DegreesImpl(graph, alive, ctx);
+  if (alive.empty()) return ParallelCliqueDegrees(graph, h(), ctx.threads);
+  Subgraph sub = InducedAliveSubgraph(graph, alive);
+  std::vector<uint64_t> local =
+      ParallelCliqueDegrees(sub.graph, h(), ctx.threads);
+  std::vector<uint64_t> degrees(graph.NumVertices(), 0);
+  for (VertexId i = 0; i < local.size(); ++i) {
+    degrees[sub.to_parent[i]] = local[i];
+  }
+  return degrees;
+}
+
+uint64_t ParallelCliqueOracle::CountInstancesImpl(
+    const Graph& graph, std::span<const char> alive,
+    const ExecutionContext& ctx) const {
+  if (ctx.threads <= 1) {
+    return CliqueOracle::CountInstancesImpl(graph, alive, ctx);
+  }
+  if (alive.empty()) return ParallelCliqueCount(graph, h(), ctx.threads);
+  Subgraph sub = InducedAliveSubgraph(graph, alive);
+  return ParallelCliqueCount(sub.graph, h(), ctx.threads);
+}
+
+}  // namespace dsd

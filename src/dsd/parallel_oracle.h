@@ -1,0 +1,48 @@
+// ParallelCliqueOracle: the CliqueOracle contract served by the Section 6.3
+// parallel kernels.
+//
+// The kClist DAG partitions h-clique instances by their degeneracy-minimal
+// root, so Degrees and CountInstances — the queries the exact and core
+// algorithms issue on every (k, Psi)-core restriction — parallelise
+// embarrassingly. This oracle dispatches those two queries to
+// ParallelCliqueDegrees / ParallelCliqueCount on ctx.threads workers and
+// inherits everything else (PeelVertex, Groups, core bounds) from
+// CliqueOracle unchanged. Results are bit-identical to the sequential
+// oracle for every thread count: the kernels reduce integer per-worker
+// partials in a fixed order.
+#ifndef DSD_DSD_PARALLEL_ORACLE_H_
+#define DSD_DSD_PARALLEL_ORACLE_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "dsd/motif_oracle.h"
+
+namespace dsd {
+
+/// CliqueOracle whose hot queries run on ctx.threads workers. A
+/// default-constructed (sequential) context makes it behave exactly like
+/// CliqueOracle, so it is always safe to pick when the motif is a clique.
+class ParallelCliqueOracle : public CliqueOracle {
+ public:
+  explicit ParallelCliqueOracle(int h) : CliqueOracle(h) {}
+
+  /// No intrinsic cap: the kernels clamp per call by hardware concurrency
+  /// and vertex count, so any budget the caller resolved is usable.
+  unsigned MaxUsefulThreads() const override {
+    return std::numeric_limits<unsigned>::max();
+  }
+
+ protected:
+  std::vector<uint64_t> DegreesImpl(const Graph& graph,
+                                    std::span<const char> alive,
+                                    const ExecutionContext& ctx) const override;
+  uint64_t CountInstancesImpl(const Graph& graph, std::span<const char> alive,
+                              const ExecutionContext& ctx) const override;
+};
+
+}  // namespace dsd
+
+#endif  // DSD_DSD_PARALLEL_ORACLE_H_

@@ -6,19 +6,22 @@
 
 namespace dsd {
 
-DensestResult PeelApp(const Graph& graph, const MotifOracle& oracle) {
+DensestResult PeelApp(const Graph& graph, const MotifOracle& oracle,
+                      const ExecutionContext& ctx) {
   Timer timer;
   DensestResult result;
   // The peeling loop of Algorithm 2 is exactly the decomposition loop of
   // Algorithm 3 with residual-density tracking; the answer is the residual
   // subgraph of maximum density.
-  MotifCoreDecomposition decomposition = MotifCoreDecompose(graph, oracle);
+  MotifCoreDecomposition decomposition =
+      MotifCoreDecompose(graph, oracle, ctx);
   result.stats.kmax =
       static_cast<uint32_t>(std::min<uint64_t>(decomposition.kmax, UINT32_MAX));
   if (decomposition.best_residual_density > 0.0) {
-    FillResult(graph, oracle, decomposition.BestResidualVertices(), result);
+    FillResult(graph, oracle, decomposition.BestResidualVertices(), result,
+               ctx);
   } else {
-    FillResult(graph, oracle, {}, result);
+    FillResult(graph, oracle, {}, result, ctx);
   }
   result.stats.total_seconds = timer.Seconds();
   return result;

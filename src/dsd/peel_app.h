@@ -4,6 +4,7 @@
 #ifndef DSD_DSD_PEEL_APP_H_
 #define DSD_DSD_PEEL_APP_H_
 
+#include "dsd/execution_context.h"
 #include "dsd/motif_oracle.h"
 #include "dsd/result.h"
 #include "graph/graph.h"
@@ -13,7 +14,10 @@ namespace dsd {
 /// Repeatedly removes the vertex of minimum motif-degree, tracking the
 /// densest residual subgraph seen; returns that subgraph.
 /// Approximation guarantee: rho(answer) >= rho_opt / |V_Psi|.
-DensestResult PeelApp(const Graph& graph, const MotifOracle& oracle);
+/// `ctx` parallelises the initial whole-graph degree pass (the peeling
+/// chain itself is sequential) and bounds the run via its deadline.
+DensestResult PeelApp(const Graph& graph, const MotifOracle& oracle,
+                      const ExecutionContext& ctx = ExecutionContext());
 
 }  // namespace dsd
 

@@ -23,14 +23,16 @@ namespace {
 std::vector<VertexId> RestrictToCoreProtected(
     const Graph& graph, const MotifOracle& oracle,
     const std::vector<VertexId>& vertices, uint64_t k,
-    std::span<const VertexId> query) {
+    std::span<const VertexId> query, const ExecutionContext& ctx) {
   std::vector<char> is_query(graph.NumVertices(), 0);
   for (VertexId q : query) is_query[q] = 1;
   std::vector<VertexId> survivors(vertices);
   std::sort(survivors.begin(), survivors.end());
-  while (true) {
+  // Polled like RestrictToCore: every round is a full degree pass, and a
+  // superset of the protected core is a valid (best-effort) search space.
+  while (!ctx.ShouldStop()) {
     Subgraph sub = InducedSubgraph(graph, survivors);
-    std::vector<uint64_t> degree = oracle.Degrees(sub.graph, {});
+    std::vector<uint64_t> degree = oracle.Degrees(sub.graph, {}, ctx);
     std::vector<VertexId> next;
     next.reserve(survivors.size());
     for (VertexId v = 0; v < sub.graph.NumVertices(); ++v) {
@@ -47,8 +49,9 @@ std::vector<VertexId> RestrictToCoreProtected(
 }  // namespace
 
 DensestResult QueryDensest(const Graph& graph, const MotifOracle& oracle,
-                           std::span<const VertexId> query) {
-  if (query.empty()) return CoreExact(graph, oracle);
+                           std::span<const VertexId> query,
+                           const ExecutionContext& ctx) {
+  if (query.empty()) return CoreExact(graph, oracle, CoreExactOptions(), ctx);
   Timer timer;
   DensestResult result;
   const VertexId n = graph.NumVertices();
@@ -62,7 +65,8 @@ DensestResult QueryDensest(const Graph& graph, const MotifOracle& oracle,
   // Core decomposition gives x = min core number over Q; the x-core contains
   // Q and has density >= x / |V_Psi| (Theorem 1), the paper's lower bound.
   Timer decomposition_timer;
-  MotifCoreDecomposition decomposition = MotifCoreDecompose(graph, oracle);
+  MotifCoreDecomposition decomposition =
+      MotifCoreDecompose(graph, oracle, ctx);
   result.stats.decomposition_seconds = decomposition_timer.Seconds();
   result.stats.kmax = static_cast<uint32_t>(
       std::min<uint64_t>(decomposition.kmax, UINT32_MAX));
@@ -72,7 +76,7 @@ DensestResult QueryDensest(const Graph& graph, const MotifOracle& oracle,
 
   // Initial candidate: the x-core (always contains Q).
   std::vector<VertexId> best = decomposition.CoreVertices(x);
-  double best_density = MeasureDensity(graph, oracle, best);
+  double best_density = MeasureDensity(graph, oracle, best, ctx);
   double lower = std::max(static_cast<double>(x) / h, best_density);
   double upper = static_cast<double>(decomposition.kmax);
 
@@ -80,10 +84,11 @@ DensestResult QueryDensest(const Graph& graph, const MotifOracle& oracle,
   std::vector<VertexId> all(n);
   for (VertexId v = 0; v < n; ++v) all[v] = v;
   std::vector<VertexId> located = RestrictToCoreProtected(
-      graph, oracle, all, static_cast<uint64_t>(std::ceil(lower)), query);
+      graph, oracle, all, static_cast<uint64_t>(std::ceil(lower)), query,
+      ctx);
   result.stats.located_vertices = located.size();
 
-  if (located.size() >= 2 && upper > lower) {
+  if (located.size() >= 2 && upper > lower && !ctx.ShouldStop()) {
     Subgraph sub = InducedSubgraph(graph, located);
     std::vector<VertexId> local_query;
     for (VertexId i = 0; i < sub.graph.NumVertices(); ++i) {
@@ -93,19 +98,19 @@ DensestResult QueryDensest(const Graph& graph, const MotifOracle& oracle,
       }
     }
     std::unique_ptr<DensestFlowSolver> solver =
-        MakeDefaultFlowSolver(sub.graph, oracle);
+        MakeDefaultFlowSolver(sub.graph, oracle, ctx);
     solver->ForceToSource(local_query);
     const double gap =
         1.0 / (static_cast<double>(located.size()) *
                std::max<double>(1.0, static_cast<double>(located.size()) - 1));
-    while (upper - lower >= gap) {
+    while (upper - lower >= gap && !ctx.ShouldStop()) {
       const double alpha = (lower + upper) / 2.0;
       std::vector<VertexId> side = solver->Solve(alpha);
       ++result.stats.binary_search_iterations;
       // Q is forced into S, so S is never just {s}: feasibility is decided
       // by the witness's actual density.
       std::vector<VertexId> candidate = sub.ToParent(side);
-      double density = MeasureDensity(graph, oracle, candidate);
+      double density = MeasureDensity(graph, oracle, candidate, ctx);
       if (density > alpha) {
         lower = alpha;
         if (density > best_density) {
@@ -119,7 +124,7 @@ DensestResult QueryDensest(const Graph& graph, const MotifOracle& oracle,
   }
 
   if (best.empty()) best.assign(query.begin(), query.end());
-  FillResult(graph, oracle, std::move(best), result);
+  FillResult(graph, oracle, std::move(best), result, ctx);
   result.stats.total_seconds = timer.Seconds();
   return result;
 }

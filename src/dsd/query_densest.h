@@ -11,6 +11,7 @@
 
 #include <span>
 
+#include "dsd/execution_context.h"
 #include "dsd/motif_oracle.h"
 #include "dsd/result.h"
 #include "graph/graph.h"
@@ -22,7 +23,8 @@ namespace dsd {
 /// includes `query` (it falls back to exactly `query` when nothing denser
 /// containing it exists).
 DensestResult QueryDensest(const Graph& graph, const MotifOracle& oracle,
-                           std::span<const VertexId> query);
+                           std::span<const VertexId> query,
+                           const ExecutionContext& ctx = ExecutionContext());
 
 /// Brute-force reference for QueryDensest (n <= 24), for tests.
 DensestResult BruteForceQueryDensest(const Graph& graph,

@@ -9,54 +9,36 @@
 #include "dsd/exact.h"
 #include "dsd/extensions.h"
 #include "dsd/inc_app.h"
+#include "dsd/oracle_factory.h"
 #include "dsd/peel_app.h"
 #include "dsd/query_densest.h"
 #include "parallel/parallel_for.h"
-#include "pattern/pattern.h"
 #include "util/timer.h"
 
 namespace dsd {
 
 namespace {
 
-// The motif-name vocabulary. ParseMotif and KnownMotifNames both derive
-// from this table and the [kMinClique, kMaxClique] range so the parser and
-// the listing cannot drift apart.
-constexpr int kMinClique = 2;
-constexpr int kMaxClique = 9;
-
-struct NamedPattern {
-  const char* name;
-  Pattern (*make)();
-};
-
-constexpr NamedPattern kNamedPatterns[] = {
-    {"2-star", &Pattern::TwoStar},
-    {"3-star", &Pattern::ThreeStar},
-    {"c3-star", &Pattern::C3Star},
-    {"diamond", &Pattern::Diamond},
-    {"2-triangle", &Pattern::TwoTriangle},
-    {"3-triangle", &Pattern::ThreeTriangle},
-    {"basket", &Pattern::Basket},
-};
-
 using RunFn = DensestResult (*)(const Graph&, const MotifOracle&,
-                                const SolveRequest&);
+                                const SolveRequest&, const ExecutionContext&);
 using ValidateFn = Status (*)(const Graph&, const SolveRequest&);
 
 /// Adapter turning a (run, validate) function pair into a Solver, so the
-/// built-in algorithms need no class each.
+/// built-in algorithms need no class each. `max_threads` declares how many
+/// workers the algorithm can exploit (1 = sequential).
 class FunctionSolver : public Solver {
  public:
   FunctionSolver(std::string name, std::string description, RunFn run,
-                 ValidateFn validate)
+                 ValidateFn validate, unsigned max_threads)
       : name_(std::move(name)),
         description_(std::move(description)),
         run_(run),
-        validate_(validate) {}
+        validate_(validate),
+        max_threads_(max_threads) {}
 
   std::string Name() const override { return name_; }
   std::string Description() const override { return description_; }
+  unsigned MaxThreads() const override { return max_threads_; }
 
   Status Validate(const Graph& graph,
                   const SolveRequest& request) const override {
@@ -64,8 +46,9 @@ class FunctionSolver : public Solver {
   }
 
   DensestResult Run(const Graph& graph, const MotifOracle& oracle,
-                    const SolveRequest& request) const override {
-    return run_(graph, oracle, request);
+                    const SolveRequest& request,
+                    const ExecutionContext& ctx) const override {
+    return run_(graph, oracle, request, ctx);
   }
 
  private:
@@ -73,6 +56,7 @@ class FunctionSolver : public Solver {
   std::string description_;
   RunFn run_;
   ValidateFn validate_;
+  unsigned max_threads_;
 };
 
 Status RequireMinSize(const Graph& graph, const SolveRequest& request) {
@@ -93,53 +77,77 @@ Status RequireSeeds(const Graph& graph, const SolveRequest& request) {
   return Status::Ok();
 }
 
+constexpr unsigned kAnyThreads = std::numeric_limits<unsigned>::max();
+
+/// The worker budget an algorithm can actually spend: the request's
+/// resolved count clamped by the solver's declared capability. Solve uses
+/// it to pick the oracle implementation; RunSolve narrows it once more by
+/// the oracle's own MaxUsefulThreads() for the context and the stats.
+unsigned ClampedThreadBudget(unsigned requested, const Solver& solver) {
+  return std::min(ResolveThreadCount(requested), solver.MaxThreads());
+}
+
 void RegisterBuiltins(SolverRegistry& registry) {
   auto add = [&registry](std::string name, std::string description, RunFn run,
-                         ValidateFn validate = nullptr) {
+                         ValidateFn validate = nullptr,
+                         unsigned max_threads = kAnyThreads) {
     Status status = registry.Register(std::make_unique<FunctionSolver>(
-        std::move(name), std::move(description), run, validate));
+        std::move(name), std::move(description), run, validate, max_threads));
     (void)status;  // Built-in names are distinct by construction.
   };
   add("exact",
       "whole-graph flow binary search (Algorithm 1; the evaluation baseline)",
-      [](const Graph& g, const MotifOracle& o, const SolveRequest&) {
-        return Exact(g, o);
-      });
+      [](const Graph& g, const MotifOracle& o, const SolveRequest&,
+         const ExecutionContext& ctx) { return Exact(g, o, ctx); });
   add("core-exact",
       "core-located exact search (Algorithm 4; CorePExact for patterns)",
-      [](const Graph& g, const MotifOracle& o, const SolveRequest&) {
-        return CoreExact(g, o);
+      [](const Graph& g, const MotifOracle& o, const SolveRequest&,
+         const ExecutionContext& ctx) {
+        return CoreExact(g, o, CoreExactOptions(), ctx);
       });
   add("peel",
       "greedy min-degree peeling, 1/|V_Psi| approximation (Algorithm 2)",
-      [](const Graph& g, const MotifOracle& o, const SolveRequest&) {
-        return PeelApp(g, o);
-      });
+      [](const Graph& g, const MotifOracle& o, const SolveRequest&,
+         const ExecutionContext& ctx) { return PeelApp(g, o, ctx); });
+  // IncApp is Algorithm 5 kept faithful: a bottom-up decomposition whose
+  // removals form a data-dependence chain, measured as the sequential
+  // baseline CoreApp is compared against — so it declines the thread budget
+  // rather than silently becoming a different algorithm.
   add("inc-app",
       "bottom-up (kmax, Psi)-core, 1/|V_Psi| approximation (Algorithm 5)",
-      [](const Graph& g, const MotifOracle& o, const SolveRequest&) {
-        return IncApp(g, o);
-      });
+      [](const Graph& g, const MotifOracle& o, const SolveRequest&,
+         const ExecutionContext& ctx) {
+        return IncApp(g, o, ctx.WithThreads(1));
+      },
+      nullptr, /*max_threads=*/1);
   add("core-app",
       "top-down (kmax, Psi)-core, 1/|V_Psi| approximation (Algorithm 6)",
-      [](const Graph& g, const MotifOracle& o, const SolveRequest&) {
-        return CoreApp(g, o);
+      [](const Graph& g, const MotifOracle& o, const SolveRequest&,
+         const ExecutionContext& ctx) {
+        return CoreApp(g, o, CoreAppOptions(), ctx);
       });
+  // StreamApp models semi-streaming passes that read the graph once,
+  // sequentially, from storage; a thread pool would contradict the access
+  // model whose pass count the stats report.
   add("stream",
       "multi-pass streaming peeling with slack eps (Bahmani et al.)",
-      [](const Graph& g, const MotifOracle& o, const SolveRequest& r) {
-        return StreamApp(g, o, r.eps);
-      });
+      [](const Graph& g, const MotifOracle& o, const SolveRequest& r,
+         const ExecutionContext& ctx) {
+        return StreamApp(g, o, r.eps, ctx.WithThreads(1));
+      },
+      nullptr, /*max_threads=*/1);
   add("at-least",
       "densest subgraph with at least min_size vertices (greedy residual)",
-      [](const Graph& g, const MotifOracle& o, const SolveRequest& r) {
-        return DensestAtLeast(g, o, r.min_size);
+      [](const Graph& g, const MotifOracle& o, const SolveRequest& r,
+         const ExecutionContext& ctx) {
+        return DensestAtLeast(g, o, r.min_size, ctx);
       },
       &RequireMinSize);
   add("query",
       "densest subgraph containing every seed vertex (Section 6.3 variant)",
-      [](const Graph& g, const MotifOracle& o, const SolveRequest& r) {
-        return QueryDensest(g, o, r.seeds);
+      [](const Graph& g, const MotifOracle& o, const SolveRequest& r,
+         const ExecutionContext& ctx) {
+        return QueryDensest(g, o, r.seeds, ctx);
       },
       &RequireSeeds);
 }
@@ -150,6 +158,12 @@ Status SanitizeRequest(const Graph& graph, SolveRequest& request,
                        SolveStats& stats) {
   if (!std::isfinite(request.eps) || request.eps <= 0.0) {
     return Status::InvalidArgument("eps must be finite and > 0");
+  }
+  if (request.threads > SolveRequest::kMaxThreadBudget) {
+    return Status::InvalidArgument(
+        "threads must be <= " +
+        std::to_string(SolveRequest::kMaxThreadBudget) + " (0 = auto), got " +
+        std::to_string(request.threads));
   }
   if (std::isnan(request.time_budget_seconds) ||
       request.time_budget_seconds < 0.0) {
@@ -170,7 +184,6 @@ Status SanitizeRequest(const Graph& graph, SolveRequest& request,
       request.seeds.end());
   stats.seeds_deduplicated = before - request.seeds.size();
   request.threads = ResolveThreadCount(request.threads);
-  stats.threads = request.threads;
   return Status::Ok();
 }
 
@@ -184,7 +197,20 @@ StatusOr<SolveResponse> RunSolve(const Graph& graph, const Solver& solver,
   if (!status.ok()) return status;
   status = solver.Validate(graph, request);
   if (!status.ok()) return status;
-  response.result = solver.Run(graph, oracle, request);
+
+  // The context carries what the run will actually use: the budget clamped
+  // by the algorithm's and the oracle's parallel capability, and the time
+  // budget as a wall-clock deadline for cooperative early exit.
+  ExecutionContext ctx;
+  ctx.threads = std::min(ClampedThreadBudget(request.threads, solver),
+                         oracle.MaxUsefulThreads());
+  if (request.time_budget_seconds > 0.0) {
+    ctx = ctx.WithDeadlineAfter(request.time_budget_seconds -
+                                timer.Seconds());
+  }
+  response.stats.threads = ctx.threads;
+
+  response.result = solver.Run(graph, oracle, request, ctx);
   response.stats.wall_seconds = timer.Seconds();
   if (request.time_budget_seconds > 0.0 &&
       response.stats.wall_seconds > request.time_budget_seconds) {
@@ -248,54 +274,11 @@ std::vector<std::string> SolverRegistry::Names() const {
 }
 
 StatusOr<std::unique_ptr<MotifOracle>> ParseMotif(const std::string& name) {
-  if (name == "edge") {
-    return std::unique_ptr<MotifOracle>(std::make_unique<CliqueOracle>(2));
-  }
-  if (name == "triangle") {
-    return std::unique_ptr<MotifOracle>(std::make_unique<CliqueOracle>(3));
-  }
-  for (int h = kMinClique; h <= kMaxClique; ++h) {
-    if (name == std::to_string(h) + "-clique") {
-      return std::unique_ptr<MotifOracle>(std::make_unique<CliqueOracle>(h));
-    }
-  }
-  if (name.size() > 7 && name.ends_with("-clique") &&
-      name.find_first_not_of("0123456789") == name.size() - 7) {
-    // A numeric clique spelling the loop above did not accept: distinguish
-    // a zero-padded in-range size ("03-clique") from a genuinely
-    // unsupported one so the diagnostic is never factually wrong.
-    const std::string digits = name.substr(0, name.size() - 7);
-    const size_t nonzero = digits.find_first_not_of('0');
-    const std::string value =
-        nonzero == std::string::npos ? "0" : digits.substr(nonzero);
-    if (value.size() == 1 && value[0] - '0' >= kMinClique &&
-        value[0] - '0' <= kMaxClique) {
-      return Status::InvalidArgument("clique motif '" + name +
-                                     "' must be written '" + value +
-                                     "-clique'");
-    }
-    return Status::InvalidArgument(
-        "clique motif '" + name + "' outside the supported range " +
-        std::to_string(kMinClique) + ".." + std::to_string(kMaxClique));
-  }
-  for (const NamedPattern& pattern : kNamedPatterns) {
-    if (name == pattern.name) {
-      return std::unique_ptr<MotifOracle>(
-          std::make_unique<PatternOracle>(pattern.make()));
-    }
-  }
-  return Status::NotFound("unknown motif '" + name + "'");
+  return MakeOracle(name);
 }
 
 std::vector<std::string> KnownMotifNames() {
-  std::vector<std::string> names = {"edge", "triangle"};
-  for (int h = kMinClique; h <= kMaxClique; ++h) {
-    names.push_back(std::to_string(h) + "-clique");
-  }
-  for (const NamedPattern& pattern : kNamedPatterns) {
-    names.push_back(pattern.name);
-  }
-  return names;
+  return OracleFactory::Global().Names();
 }
 
 StatusOr<SolveResponse> Solve(const Graph& graph,
@@ -305,7 +288,14 @@ StatusOr<SolveResponse> Solve(const Graph& graph,
   if (solver == nullptr) {
     return Status::NotFound("unknown algorithm '" + request.algorithm + "'");
   }
-  StatusOr<std::unique_ptr<MotifOracle>> oracle = ParseMotif(request.motif);
+  // Build the oracle for the budget the algorithm can actually spend, with
+  // memoization for the repeated core sub-queries. RunSolve derives the
+  // context from the same ClampedThreadBudget, so oracle and stats agree.
+  OracleOptions options;
+  options.threads = ClampedThreadBudget(request.threads, *solver);
+  options.cache = true;
+  StatusOr<std::unique_ptr<MotifOracle>> oracle =
+      MakeOracle(request.motif, options);
   if (!oracle.ok()) return oracle.status();
   return RunSolve(graph, *solver, *oracle.value(), request, timer);
 }

@@ -21,12 +21,14 @@
 #ifndef DSD_DSD_SOLVER_H_
 #define DSD_DSD_SOLVER_H_
 
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "dsd/execution_context.h"
 #include "dsd/motif_oracle.h"
 #include "dsd/result.h"
 #include "graph/graph.h"
@@ -61,12 +63,20 @@ struct SolveRequest {
   std::vector<VertexId> seeds;
 
   /// Worker-thread budget; 0 means "auto" (hardware concurrency). The
-  /// resolved value is passed to Solver::Run and echoed in
-  /// SolveStats::threads. NOTE: the eight built-in solvers are currently
-  /// sequential and ignore it — this is the plumbing for custom Solvers and
-  /// for wiring the src/parallel/ kernels into the built-ins (ROADMAP), not
-  /// a promise of parallel execution today.
+  /// resolved value, clamped by what the algorithm and oracle can exploit,
+  /// becomes ExecutionContext::threads for the run: dsd::Solve builds the
+  /// oracle through MakeOracle, so a clique motif with a budget > 1 gets
+  /// the parallel kernels of src/parallel/ behind its hot queries. The
+  /// clamped (effective) count is reported in SolveStats::threads.
+  /// Explicit values above kMaxThreadBudget are rejected as
+  /// InvalidArgument — the budget spawns real OS threads, and Solve's
+  /// never-throws contract must hold for hostile requests too.
   unsigned threads = 0;
+
+  /// Upper bound on an explicit `threads` value (far beyond any current
+  /// hardware; a guard against resource-exhaustion requests, not a tuning
+  /// limit).
+  static constexpr unsigned kMaxThreadBudget = 1024;
 
   /// Optional wall-clock budget in seconds; 0 means unlimited. Enforcement
   /// is best-effort at algorithm granularity: a run that finishes past the
@@ -81,8 +91,11 @@ struct SolveStats {
   std::string algorithm;
   /// Display name of the motif oracle the run used ("3-clique", ...).
   std::string motif;
-  /// Resolved worker-thread budget (after the 0 = "auto" substitution).
-  /// A budget, not a measurement: see SolveRequest::threads.
+  /// Effective worker-thread count of the run: the request's budget after
+  /// the 0 = "auto" substitution, clamped by the algorithm's MaxThreads()
+  /// and the oracle's MaxUsefulThreads(). A sequential algorithm (stream,
+  /// inc-app) or a motif with no parallel kernel reports 1 here no matter
+  /// what was requested.
   unsigned threads = 0;
   /// Wall-clock time of the whole solve, including oracle setup.
   double wall_seconds = 0.0;
@@ -118,10 +131,21 @@ class Solver {
     return Status::Ok();
   }
 
+  /// Worker threads this algorithm can exploit; 1 declares it sequential.
+  /// dsd::Solve clamps the request's thread budget by this before building
+  /// the execution context, so SolveStats::threads stays honest.
+  virtual unsigned MaxThreads() const {
+    return std::numeric_limits<unsigned>::max();
+  }
+
   /// Executes the algorithm. Only called with a request that passed both
-  /// common and per-solver validation.
+  /// common and per-solver validation. `ctx` carries the run's execution
+  /// policy (effective thread count, deadline, cancel flag); implementations
+  /// pass it to the oracle's hot queries and may poll ctx.ShouldStop() to
+  /// abandon a run whose result will be discarded anyway.
   virtual DensestResult Run(const Graph& graph, const MotifOracle& oracle,
-                            const SolveRequest& request) const = 0;
+                            const SolveRequest& request,
+                            const ExecutionContext& ctx) const = 0;
 };
 
 /// Name -> Solver map. The process-wide instance (Global()) comes
@@ -156,24 +180,32 @@ class SolverRegistry {
   std::vector<std::unique_ptr<Solver>> solvers_;
 };
 
-/// Builds the oracle for a motif name: CliqueOracle for "edge" / "triangle" /
-/// "<h>-clique" (h in 2..9), PatternOracle for the named patterns.
-/// NotFound for names outside the vocabulary.
+/// Builds the sequential oracle for a motif name: CliqueOracle for "edge" /
+/// "triangle" / "<h>-clique" (h in 2..9), PatternOracle for the named
+/// patterns. NotFound for names outside the vocabulary. Equivalent to
+/// MakeOracle(name) with default options — use MakeOracle (dsd/
+/// oracle_factory.h) when a thread budget or caching should apply.
 StatusOr<std::unique_ptr<MotifOracle>> ParseMotif(const std::string& name);
 
-/// Every name ParseMotif accepts, in listing order.
+/// Every name ParseMotif/MakeOracle accepts, in listing order.
 std::vector<std::string> KnownMotifNames();
 
 /// Validates `request`, resolves its algorithm and motif, runs it, and
-/// returns the answer. All failures surface as Status (NotFound for unknown
-/// algorithm/motif names, InvalidArgument for bad parameters,
-/// DeadlineExceeded for a blown time budget) — this function never exits or
-/// throws on bad input.
+/// returns the answer. The oracle is built through MakeOracle from the
+/// request's thread budget (parallel clique kernels when > 1) with caching
+/// enabled, and the run executes under an ExecutionContext carrying the
+/// effective thread count and the time budget as a deadline. All failures
+/// surface as Status (NotFound for unknown algorithm/motif names,
+/// InvalidArgument for bad parameters, DeadlineExceeded for a blown time
+/// budget) — this function never exits or throws on bad input.
 StatusOr<SolveResponse> Solve(const Graph& graph, const SolveRequest& request);
 
 /// Same, but with a caller-supplied oracle — `request.motif` is ignored.
 /// For motifs the name vocabulary cannot express (e.g. a PatternOracle with
-/// special kernels disabled).
+/// special kernels disabled). The effective thread count is clamped by the
+/// supplied oracle's MaxUsefulThreads(), so a plain CliqueOracle runs
+/// sequentially — pass a ParallelCliqueOracle (or a MakeOracle product) to
+/// spend a thread budget.
 StatusOr<SolveResponse> Solve(const Graph& graph, const MotifOracle& oracle,
                               const SolveRequest& request);
 

@@ -43,4 +43,13 @@ Subgraph InducedSubgraph(const Graph& graph,
   return result;
 }
 
+Subgraph InducedAliveSubgraph(const Graph& graph,
+                              std::span<const char> alive) {
+  std::vector<VertexId> vertices;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (alive.empty() || alive[v]) vertices.push_back(v);
+  }
+  return InducedSubgraph(graph, vertices);
+}
+
 }  // namespace dsd

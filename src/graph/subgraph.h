@@ -31,6 +31,13 @@ struct Subgraph {
 Subgraph InducedSubgraph(const Graph& graph,
                          std::span<const VertexId> vertices);
 
+/// Extracts the subgraph induced by the alive vertices (alive[v] != 0; an
+/// empty mask means all alive). The shared reduction behind every
+/// alive-masked oracle query: compute on the compact subgraph, scatter back
+/// through to_parent. Keeping it in one place is what guarantees the
+/// sequential and parallel oracles agree bit-for-bit on masked queries.
+Subgraph InducedAliveSubgraph(const Graph& graph, std::span<const char> alive);
+
 }  // namespace dsd
 
 #endif  // DSD_GRAPH_SUBGRAPH_H_

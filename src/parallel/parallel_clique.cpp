@@ -6,7 +6,9 @@
 namespace dsd {
 
 uint64_t ParallelCliqueCount(const Graph& graph, int h, unsigned threads) {
-  const unsigned t = ResolveThreadCount(threads);
+  // Clamp by hardware AND vertex count: per-root partitioning has at most
+  // NumVertices() units of work, so extra workers would only spawn and exit.
+  const unsigned t = ResolveThreadCount(threads, graph.NumVertices());
   CliqueEnumerator enumerator(graph, h);
   std::vector<uint64_t> partial(t, 0);
   ParallelForStrided(graph.NumVertices(), t,
@@ -24,7 +26,7 @@ uint64_t ParallelCliqueCount(const Graph& graph, int h, unsigned threads) {
 
 std::vector<uint64_t> ParallelCliqueDegrees(const Graph& graph, int h,
                                             unsigned threads) {
-  const unsigned t = ResolveThreadCount(threads);
+  const unsigned t = ResolveThreadCount(threads, graph.NumVertices());
   CliqueEnumerator enumerator(graph, h);
   // Per-worker private accumulators avoid atomics on the hot path.
   std::vector<std::vector<uint64_t>> partial(

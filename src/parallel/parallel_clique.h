@@ -13,11 +13,15 @@
 
 namespace dsd {
 
-/// Parallel mu(G, Psi) for Psi = h-clique. threads = 0 means "auto".
+/// Parallel mu(G, Psi) for Psi = h-clique. threads = 0 means "auto"
+/// (hardware concurrency); the count is additionally clamped by the vertex
+/// count so tiny graphs never spawn idle workers. Bit-identical to
+/// CliqueEnumerator::Count() for every thread count.
 uint64_t ParallelCliqueCount(const Graph& graph, int h, unsigned threads = 0);
 
 /// Parallel clique-degrees (Definition 3). Identical to
-/// CliqueEnumerator::Degrees(), computed on `threads` workers.
+/// CliqueEnumerator::Degrees(), computed on `threads` workers (same 0 =
+/// "auto" and vertex-count clamping as ParallelCliqueCount).
 std::vector<uint64_t> ParallelCliqueDegrees(const Graph& graph, int h,
                                             unsigned threads = 0);
 

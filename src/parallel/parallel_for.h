@@ -7,6 +7,7 @@
 #ifndef DSD_PARALLEL_PARALLEL_FOR_H_
 #define DSD_PARALLEL_PARALLEL_FOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -20,6 +21,15 @@ inline unsigned ResolveThreadCount(unsigned requested) {
   return hw > 0 ? hw : 1;
 }
 
+/// Same, additionally clamped by the number of parallel work items: a
+/// 6-vertex graph on a 64-core box gets 6 workers, not 64 idle spawns.
+/// Always returns >= 1 (so zero work items still yield a valid count).
+inline unsigned ResolveThreadCount(unsigned requested, uint64_t work_items) {
+  const uint64_t cap = std::max<uint64_t>(work_items, 1);
+  return static_cast<unsigned>(
+      std::min<uint64_t>(ResolveThreadCount(requested), cap));
+}
+
 /// Runs fn(thread_index, begin, end) on `threads` workers over [0, n) in
 /// strided blocks: worker i handles indices i, i+T, i+2T, ... — striding
 /// balances skewed per-index costs (hub vertices) across workers.
@@ -27,7 +37,7 @@ inline unsigned ResolveThreadCount(unsigned requested) {
 /// fn must be callable as fn(unsigned thread_index, uint64_t index).
 template <typename Fn>
 void ParallelForStrided(uint64_t n, unsigned threads, Fn fn) {
-  const unsigned t = ResolveThreadCount(threads);
+  const unsigned t = ResolveThreadCount(threads, n);
   if (t == 1 || n <= 1) {
     for (uint64_t i = 0; i < n; ++i) fn(0u, i);
     return;

@@ -55,7 +55,7 @@ NucleusDecomposition ParallelCliqueCoreDecomposition(const Graph& graph,
   std::vector<uint64_t> next(n);
 
   // Synchronous (Jacobi) rounds: all vertices update from the snapshot.
-  const unsigned t = ResolveThreadCount(threads);
+  const unsigned t = ResolveThreadCount(threads, n);
   std::atomic<bool> changed{true};
   while (changed.load(std::memory_order_relaxed)) {
     changed.store(false, std::memory_order_relaxed);

@@ -74,8 +74,8 @@ class FakeSolver : public Solver {
   explicit FakeSolver(std::string name) : name_(std::move(name)) {}
   std::string Name() const override { return name_; }
   std::string Description() const override { return "fake"; }
-  DensestResult Run(const Graph&, const MotifOracle&,
-                    const SolveRequest&) const override {
+  DensestResult Run(const Graph&, const MotifOracle&, const SolveRequest&,
+                    const ExecutionContext&) const override {
     return {};
   }
 

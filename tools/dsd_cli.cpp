@@ -171,6 +171,9 @@ int main(int argc, char** argv) {
 
   std::printf("motif      %s\n", response.stats.motif.c_str());
   std::printf("algorithm  %s\n", response.stats.algorithm.c_str());
+  // Effective worker count: the --threads budget clamped by what the
+  // algorithm and oracle can exploit (sequential algorithms report 1).
+  std::printf("threads    %u\n", response.stats.threads);
   std::printf("density    %.6f\n", result.density);
   std::printf("instances  %llu\n",
               static_cast<unsigned long long>(result.instances));
@@ -186,8 +189,6 @@ int main(int argc, char** argv) {
     if (result.stats.binary_search_iterations > 0) {
       std::printf("iterations %d\n", result.stats.binary_search_iterations);
     }
-    // stats.threads is the resolved budget, not workers actually used (the
-    // built-in solvers are sequential), so it is not echoed here.
     std::printf("wall       %.3f ms\n", response.stats.wall_seconds * 1e3);
   }
   return 0;
