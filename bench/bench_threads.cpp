@@ -1,8 +1,10 @@
 // Thread-scaling bench for the ExecutionContext-aware solve path: runs the
 // parallel-capable algorithms through dsd::Solve at several thread budgets
-// on the bundled demo graphs and emits machine-readable JSON (one record per
-// algo x graph x threads), so scripts/run_bench.sh can track the perf
-// trajectory as BENCH_threads.json.
+// on the bundled demo graphs, plus the pattern-oracle hot queries for a
+// non-clique motif (star-3 through the generic embedding engine — the PDS
+// workload whose root loop the parallel pattern kernels shard), and emits
+// machine-readable JSON (one record per algo x motif x graph x threads) so
+// scripts/run_bench.sh can track the perf trajectory as BENCH_threads.json.
 //
 // Besides timing, every multi-threaded run is checked bit-identical to its
 // threads = 1 baseline (the parallel kernels are deterministic integer
@@ -11,11 +13,16 @@
 // Usage: bench_threads [output.json]   (stdout when no path is given)
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "dsd/oracle_factory.h"
 #include "graph/generators.h"
 #include "harness/runner.h"
+#include "parallel/parallel_for.h"
+#include "util/timer.h"
 
 namespace dsd::bench {
 namespace {
@@ -27,6 +34,7 @@ struct BenchGraph {
 
 struct Record {
   std::string algo;
+  std::string motif;
   std::string graph;
   unsigned threads_requested = 0;
   unsigned threads_effective = 0;
@@ -44,7 +52,6 @@ int Run(std::FILE* out) {
       {"communities_8k", gen::PowerLawWithCommunities(8000, 3, 24, 12, 0.9,
                                                       0x5EED)});
 
-  const std::string motif = "4-clique";
   const std::vector<std::string> algos = {"exact", "core-exact", "peel"};
   const std::vector<unsigned> thread_counts = {1, 2, 4};
 
@@ -55,7 +62,7 @@ int Run(std::FILE* out) {
       for (unsigned threads : thread_counts) {
         SolveRequest request;
         request.algorithm = algo;
-        request.motif = motif;
+        request.motif = "4-clique";
         request.threads = threads;
         SolveResponse response = MustSolve(bg.graph, std::move(request));
         if (threads == thread_counts.front()) {
@@ -70,6 +77,7 @@ int Run(std::FILE* out) {
         }
         Record record;
         record.algo = algo;
+        record.motif = "4-clique";
         record.graph = bg.name;
         record.threads_requested = threads;
         record.threads_effective = response.stats.threads;
@@ -77,26 +85,75 @@ int Run(std::FILE* out) {
         record.density = response.result.density;
         record.vertices = response.result.vertices.size();
         records.push_back(record);
-        std::fprintf(stderr, "%-12s %-16s threads=%u  %.3f ms\n", algo.c_str(),
-                     bg.name.c_str(), threads,
-                     response.stats.wall_seconds * 1e3);
+        std::fprintf(stderr, "%-14s %-8s %-16s threads=%u  %.3f ms\n",
+                     algo.c_str(), record.motif.c_str(), bg.name.c_str(),
+                     threads, response.stats.wall_seconds * 1e3);
+      }
+    }
+
+    // Pattern-oracle scaling: the star-3 motif-degree pass through the
+    // generic embedding engine (use_special_kernels = false, the
+    // bench_ablation baseline) — the query CorePExact hammers, and the one
+    // the parallel pattern kernels shard per root vertex. The closed-form
+    // star kernel is O(m) and would time thread-spawn overhead instead.
+    {
+      std::vector<uint64_t> baseline_degrees;
+      for (unsigned threads : thread_counts) {
+        OracleOptions options;
+        options.threads = threads;
+        options.use_special_kernels = false;
+        StatusOr<std::unique_ptr<MotifOracle>> oracle =
+            MakeOracle("3-star", options);
+        if (!oracle.ok()) {
+          std::fprintf(stderr, "FAIL: %s\n", oracle.status().ToString().c_str());
+          return 1;
+        }
+        ExecutionContext ctx;
+        ctx.threads = threads;
+        Timer timer;
+        std::vector<uint64_t> degrees =
+            oracle.value()->Degrees(bg.graph, {}, ctx);
+        const double seconds = timer.Seconds();
+        if (threads == thread_counts.front()) {
+          baseline_degrees = degrees;
+        } else if (degrees != baseline_degrees) {
+          std::fprintf(stderr,
+                       "FAIL: star-3 degrees on %s with %u threads diverged "
+                       "from the sequential answer\n",
+                       bg.name.c_str(), threads);
+          return 1;
+        }
+        Record record;
+        record.algo = "oracle-degrees";
+        record.motif = "3-star";
+        record.graph = bg.name;
+        record.threads_requested = threads;
+        // Same clamp the kernel applies per call (hardware + root count),
+        // so this row's semantics match the solve-path rows above.
+        record.threads_effective =
+            ResolveThreadCount(threads, bg.graph.NumVertices());
+        record.wall_seconds = seconds;
+        record.density = 0.0;
+        record.vertices = bg.graph.NumVertices();
+        records.push_back(record);
+        std::fprintf(stderr, "%-14s %-8s %-16s threads=%u  %.3f ms\n",
+                     record.algo.c_str(), record.motif.c_str(), bg.name.c_str(),
+                     threads, seconds * 1e3);
       }
     }
   }
 
-  std::fprintf(out, "{\n  \"benchmark\": \"threads\",\n  \"motif\": \"%s\",\n"
-                    "  \"results\": [\n",
-               motif.c_str());
+  std::fprintf(out, "{\n  \"benchmark\": \"threads\",\n  \"results\": [\n");
   for (size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
     std::fprintf(out,
-                 "    {\"algo\": \"%s\", \"graph\": \"%s\", "
+                 "    {\"algo\": \"%s\", \"motif\": \"%s\", \"graph\": \"%s\", "
                  "\"threads_requested\": %u, \"threads_effective\": %u, "
                  "\"wall_seconds\": %.6f, \"density\": %.6f, "
                  "\"vertices\": %zu}%s\n",
-                 r.algo.c_str(), r.graph.c_str(), r.threads_requested,
-                 r.threads_effective, r.wall_seconds, r.density, r.vertices,
-                 i + 1 < records.size() ? "," : "");
+                 r.algo.c_str(), r.motif.c_str(), r.graph.c_str(),
+                 r.threads_requested, r.threads_effective, r.wall_seconds,
+                 r.density, r.vertices, i + 1 < records.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   return 0;

@@ -7,14 +7,14 @@ namespace dsd {
 
 namespace {
 
-constexpr uint64_t kFnvOffsetA = 0xCBF29CE484222325ull;
-constexpr uint64_t kFnvOffsetB = 0x6C62272E07BB0142ull;  // FNV-1a 128 high.
+constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ull;
 constexpr uint64_t kFnvPrime = 0x100000001B3ull;
 
-inline void Mix(uint64_t word, uint64_t& a, uint64_t& b) {
-  a = (a ^ word) * kFnvPrime;
-  b = (b ^ (word + 0x9E3779B97F4A7C15ull)) * kFnvPrime;
-}
+// Canonical mask hash for "every vertex alive" (the empty span and any
+// all-ones mask), chosen to be unreachable by the FNV stream below only in
+// the probabilistic sense — the generation + size_word components make an
+// accidental collision harmless in practice (same graph, same population).
+constexpr uint64_t kFullMaskHash = 0ull;
 
 }  // namespace
 
@@ -26,28 +26,31 @@ CachingOracle::CachingOracle(std::unique_ptr<MotifOracle> inner,
 
 CachingOracle::~CachingOracle() = default;
 
-CachingOracle::Key CachingOracle::Fingerprint(const Graph& graph,
-                                              std::span<const char> alive) {
-  uint64_t a = kFnvOffsetA;
-  uint64_t b = kFnvOffsetB;
-  uint64_t population = 0;
+CachingOracle::Key CachingOracle::MakeKey(const Graph& graph,
+                                          std::span<const char> alive) {
+  // O(1) in the graph: the generation tag carries the structural identity,
+  // so only the mask (when present) is scanned — never the CSR arrays.
   const VertexId n = graph.NumVertices();
-  for (VertexId v = 0; v < n; ++v) {
-    if (!alive.empty() && !alive[v]) continue;
-    ++population;
-    Mix(v, a, b);
-    for (VertexId u : graph.Neighbors(v)) {
-      // Hash the alive-restricted adjacency so two masks exposing the same
-      // induced subgraph of the same graph collide on purpose (they answer
-      // identically), while any structural difference changes the stream.
-      if (alive.empty() || alive[u]) Mix(u, a, b);
+  uint64_t population = n;
+  uint64_t hash = kFullMaskHash;
+  if (!alive.empty()) {
+    population = 0;
+    uint64_t h = kFnvOffset;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!alive[v]) continue;
+      ++population;
+      // Hash alive vertex ids rather than raw mask bytes, so any nonzero
+      // char spelling of "alive" produces the same key.
+      h = (h ^ v) * kFnvPrime;
     }
-    Mix(0xFFFFFFFFFFFFFFFFull, a, b);  // row separator
+    // A mask with every vertex alive answers exactly like the empty span;
+    // canonicalise so the two spellings share cache entries.
+    hash = population == n ? kFullMaskHash : h;
   }
   Key key;
+  key.generation = graph.Generation();
   key.size_word = (static_cast<uint64_t>(n) << 32) ^ population;
-  key.hash_a = a;
-  key.hash_b = b;
+  key.mask_hash = hash;
   return key;
 }
 
@@ -59,27 +62,71 @@ void CachingOracle::MaybeEvict(size_t incoming_bytes) const {
   cached_bytes_ = 0;
 }
 
+namespace {
+
+// size_word = (n << 32) ^ population with population <= n < 2^32, so the
+// halves unpack cleanly.
+inline bool FullPopulation(uint64_t size_word) {
+  return (size_word >> 32) == (size_word & 0xFFFFFFFFull);
+}
+
+}  // namespace
+
 std::vector<uint64_t> CachingOracle::DegreesImpl(
     const Graph& graph, std::span<const char> alive,
     const ExecutionContext& ctx) const {
-  const Key key = Fingerprint(graph, alive);
+  const Key key = MakeKey(graph, alive);
+  const bool full = FullPopulation(key.size_word);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = degrees_.find(key);
-    if (it != degrees_.end()) {
-      ++stats_.degree_hits;
-      return it->second;
+    bool found = false;
+    std::vector<uint64_t> compact;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = degrees_.find(key);
+      if (it != degrees_.end()) {
+        ++stats_.degree_hits;
+        if (full) return it->second;
+        // Copy the compact entry under the lock (O(population)); expand
+        // against the query mask outside it so concurrent queries never
+        // queue behind an O(n) scatter.
+        found = true;
+        compact = it->second;
+      } else {
+        ++stats_.degree_misses;
+      }
     }
-    ++stats_.degree_misses;
+    if (found) {
+      // Re-expand: equal key implies an equal mask, so the alive positions
+      // line up with the compact entry's order.
+      std::vector<uint64_t> expanded(graph.NumVertices(), 0);
+      size_t j = 0;
+      for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+        if (alive[v]) expanded[v] = compact[j++];
+      }
+      return expanded;
+    }
   }
   // Compute outside the lock: a concurrent identical miss wastes work but
   // never blocks unrelated queries behind an expensive enumeration.
   std::vector<uint64_t> degrees = inner_->Degrees(graph, alive, ctx);
+  std::vector<uint64_t> stored;
+  if (full) {
+    stored = degrees;
+  } else {
+    // Dead vertices' degrees are 0 by the oracle contract; store only the
+    // alive values so entry size tracks the (shrinking) core, not n.
+    stored.reserve(key.size_word & 0xFFFFFFFFull);
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      if (alive[v]) stored.push_back(degrees[v]);
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    const size_t bytes = degrees.size() * sizeof(uint64_t);
+    const size_t bytes = stored.size() * sizeof(uint64_t);
     MaybeEvict(bytes);
-    if (degrees_.emplace(key, degrees).second) cached_bytes_ += bytes;
+    if (degrees_.emplace(key, std::move(stored)).second) {
+      cached_bytes_ += bytes;
+    }
   }
   return degrees;
 }
@@ -87,7 +134,7 @@ std::vector<uint64_t> CachingOracle::DegreesImpl(
 uint64_t CachingOracle::CountInstancesImpl(const Graph& graph,
                                            std::span<const char> alive,
                                            const ExecutionContext& ctx) const {
-  const Key key = Fingerprint(graph, alive);
+  const Key key = MakeKey(graph, alive);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = counts_.find(key);

@@ -6,11 +6,16 @@
 // after raising the core level, and the best candidate is re-measured when
 // results are finalised. Each such query re-enumerates motif instances from
 // scratch — far more expensive than a linear scan of its input. This
-// decorator memoizes both queries, keyed by a content fingerprint of the
-// (graph, alive-mask) pair, so an identical sub-query costs one O(n + m)
-// hash instead of a full enumeration, while a changed alive mask (or any
-// structural change) misses and recomputes — there is no stale-entry
-// invalidation to get wrong, because the key IS the content.
+// decorator memoizes both queries, keyed by the graph's generation tag
+// (Graph::Generation() — process-wide unique per content state, see
+// graph/graph.h) plus a hash of the alive mask. The tag makes the key O(1)
+// in the graph (no CSR walk on the hot path; only the mask, when present,
+// is scanned), while staleness stays impossible by construction: any
+// structural change produces a different Graph with a different tag, and a
+// changed alive mask changes the mask hash. The flip side of identity
+// keying is that two independently built content-identical graphs no
+// longer share entries — callers that want hits must re-query the same
+// graph (or a copy), which is exactly what the solvers do.
 #ifndef DSD_DSD_CACHING_ORACLE_H_
 #define DSD_DSD_CACHING_ORACLE_H_
 
@@ -79,25 +84,28 @@ class CachingOracle : public MotifOracle {
 
  private:
   struct Key {
-    // Content fingerprint of (graph, alive): sizes plus two independent
-    // 64-bit FNV-1a streams over the CSR structure and mask. Equality is on
-    // the whole 192-bit tuple; a collision needs two different inputs to
-    // agree on both streams AND both sizes simultaneously.
+    // Identity key of a (graph, alive) query: the graph's generation tag
+    // (unique per content state — see graph/graph.h), the vertex count and
+    // alive population packed into one word, and an FNV-1a hash of the
+    // alive vertex ids. An all-alive mask is canonicalised to the same key
+    // as the empty ("everything alive") span, so the two spellings share
+    // entries — they answer identically.
+    uint64_t generation;
     uint64_t size_word;  // NumVertices and alive-population packed together.
-    uint64_t hash_a;
-    uint64_t hash_b;
+    uint64_t mask_hash;
     bool operator==(const Key& other) const {
-      return size_word == other.size_word && hash_a == other.hash_a &&
-             hash_b == other.hash_b;
+      return generation == other.generation && size_word == other.size_word &&
+             mask_hash == other.mask_hash;
     }
   };
   struct KeyHash {
     size_t operator()(const Key& key) const {
-      return static_cast<size_t>(key.hash_a ^ (key.size_word * 0x9E3779B97F4A7C15ull));
+      return static_cast<size_t>(key.mask_hash ^
+                                 (key.generation * 0x9E3779B97F4A7C15ull));
     }
   };
 
-  static Key Fingerprint(const Graph& graph, std::span<const char> alive);
+  static Key MakeKey(const Graph& graph, std::span<const char> alive);
 
   void MaybeEvict(size_t incoming_bytes) const;
 
@@ -105,6 +113,11 @@ class CachingOracle : public MotifOracle {
   size_t max_cached_bytes_;
 
   mutable std::mutex mutex_;
+  // Memoized degree vectors. Entries for masked queries are stored compact
+  // (alive vertices' values in vertex order — the dead entries are zeros by
+  // the oracle contract) and re-expanded against the query mask on a hit,
+  // so a shrinking-core peel does not fill the byte budget with n-sized
+  // vectors of mostly zeros.
   mutable std::unordered_map<Key, std::vector<uint64_t>, KeyHash> degrees_;
   mutable std::unordered_map<Key, uint64_t, KeyHash> counts_;
   mutable size_t cached_bytes_ = 0;

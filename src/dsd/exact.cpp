@@ -4,29 +4,12 @@
 #include <memory>
 
 #include "dsd/flow_networks.h"
-#include "graph/subgraph.h"
+#include "dsd/measure.h"
 #include "util/timer.h"
 
 namespace dsd {
 
 namespace {
-
-// Finalizes a result: sorts vertices, measures the induced subgraph.
-void Finalize(const Graph& graph, const MotifOracle& oracle,
-              std::vector<VertexId> vertices, DensestResult& result,
-              const ExecutionContext& ctx) {
-  std::sort(vertices.begin(), vertices.end());
-  result.vertices = std::move(vertices);
-  if (result.vertices.empty()) {
-    result.instances = 0;
-    result.density = 0.0;
-    return;
-  }
-  Subgraph sub = InducedSubgraph(graph, result.vertices);
-  result.instances = oracle.CountInstances(sub.graph, {}, ctx);
-  result.density = static_cast<double>(result.instances) /
-                   static_cast<double>(result.vertices.size());
-}
 
 DensestResult ExactWithSolver(const Graph& graph, const MotifOracle& oracle,
                               std::unique_ptr<DensestFlowSolver> solver,
@@ -35,7 +18,7 @@ DensestResult ExactWithSolver(const Graph& graph, const MotifOracle& oracle,
   DensestResult result;
   const VertexId n = graph.NumVertices();
   if (n < 2) {
-    Finalize(graph, oracle, {}, result, ctx);
+    FillResult(graph, oracle, {}, result, ctx);
     result.stats.total_seconds = timer.Seconds();
     return result;
   }
@@ -59,7 +42,7 @@ DensestResult ExactWithSolver(const Graph& graph, const MotifOracle& oracle,
       best = std::move(side);
     }
   }
-  Finalize(graph, oracle, std::move(best), result, ctx);
+  FillResult(graph, oracle, std::move(best), result, ctx);
   result.stats.total_seconds = timer.Seconds();
   return result;
 }

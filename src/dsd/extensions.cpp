@@ -5,7 +5,6 @@
 
 #include "dsd/measure.h"
 #include "dsd/motif_core.h"
-#include "graph/subgraph.h"
 #include "util/timer.h"
 
 namespace dsd {
@@ -63,9 +62,12 @@ DensestResult StreamApp(const Graph& graph, const MotifOracle& oracle,
   std::vector<VertexId> best;
   double best_density = -1.0;
 
+  // Passes query the parent graph under an alive mask (the modelled stream
+  // filter), so the decorated oracle can key them by the graph's stable
+  // generation tag instead of one dead fresh-subgraph entry per pass.
+  std::vector<char> alive(graph.NumVertices(), 1);
   while (!current.empty() && !ctx.ShouldStop()) {
-    Subgraph sub = InducedSubgraph(graph, current);
-    const uint64_t instances = oracle.CountInstances(sub.graph, {}, ctx);
+    const uint64_t instances = oracle.CountInstances(graph, alive, ctx);
     const double density =
         static_cast<double>(instances) / static_cast<double>(current.size());
     if (density > best_density) {
@@ -75,12 +77,14 @@ DensestResult StreamApp(const Graph& graph, const MotifOracle& oracle,
     if (instances == 0) break;
     // One pass: drop everything below the (1+eps) * h * rho threshold.
     const double threshold = (1.0 + eps) * h * density;
-    std::vector<uint64_t> degrees = oracle.Degrees(sub.graph, {}, ctx);
+    std::vector<uint64_t> degrees = oracle.Degrees(graph, alive, ctx);
     std::vector<VertexId> next;
     next.reserve(current.size());
-    for (VertexId i = 0; i < sub.graph.NumVertices(); ++i) {
-      if (static_cast<double>(degrees[i]) > threshold) {
-        next.push_back(sub.to_parent[i]);
+    for (VertexId v : current) {
+      if (static_cast<double>(degrees[v]) > threshold) {
+        next.push_back(v);
+      } else {
+        alive[v] = 0;
       }
     }
     if (next.size() == current.size()) break;  // defensive: cannot happen

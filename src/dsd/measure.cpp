@@ -2,16 +2,20 @@
 
 #include <algorithm>
 
-#include "graph/subgraph.h"
-
 namespace dsd {
 
 uint64_t MeasureInstances(const Graph& graph, const MotifOracle& oracle,
                           std::span<const VertexId> vertices,
                           const ExecutionContext& ctx) {
   if (vertices.empty()) return 0;
-  Subgraph sub = InducedSubgraph(graph, vertices);
-  return oracle.CountInstances(sub.graph, {}, ctx);
+  // Masked query on the parent graph rather than an induced-subgraph
+  // rebuild: the oracle performs the same reduction internally, but the
+  // query is now keyed by the parent's stable generation tag, so re-
+  // measuring the same candidate set (Pruning2, final re-measures) hits
+  // the CachingOracle instead of re-enumerating.
+  std::vector<char> alive(graph.NumVertices(), 0);
+  for (VertexId v : vertices) alive[v] = 1;
+  return oracle.CountInstances(graph, alive, ctx);
 }
 
 double MeasureDensity(const Graph& graph, const MotifOracle& oracle,

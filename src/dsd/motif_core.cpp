@@ -5,7 +5,6 @@
 #include <queue>
 #include <utility>
 
-#include "graph/subgraph.h"
 
 namespace dsd {
 
@@ -130,13 +129,24 @@ std::vector<VertexId> RestrictToCore(const Graph& graph,
   // so an unpolled fixpoint loop could overshoot a blown budget by many
   // passes. A stopped run returns the not-yet-fixpoint survivor set — a
   // superset of the core, fine for best-effort callers.
+  //
+  // Rounds query the parent graph under an alive mask (not a rebuilt
+  // induced subgraph): same reduction inside the oracle, but the queries
+  // are keyed by the parent's generation tag, so a survivor set revisited
+  // across calls — CoreExact re-restricting at the same level — hits the
+  // CachingOracle.
+  std::vector<char> alive(graph.NumVertices(), 0);
+  for (VertexId v : survivors) alive[v] = 1;
   while (!survivors.empty() && !ctx.ShouldStop()) {
-    Subgraph sub = InducedSubgraph(graph, survivors);
-    std::vector<uint64_t> degree = oracle.Degrees(sub.graph, {}, ctx);
+    std::vector<uint64_t> degree = oracle.Degrees(graph, alive, ctx);
     std::vector<VertexId> next;
     next.reserve(survivors.size());
-    for (VertexId v = 0; v < sub.graph.NumVertices(); ++v) {
-      if (degree[v] >= k) next.push_back(sub.to_parent[v]);
+    for (VertexId v : survivors) {
+      if (degree[v] >= k) {
+        next.push_back(v);
+      } else {
+        alive[v] = 0;
+      }
     }
     if (next.size() == survivors.size()) break;
     survivors = std::move(next);

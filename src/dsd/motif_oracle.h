@@ -146,8 +146,9 @@ class CliqueOracle : public MotifOracle {
 
 /// Oracle for arbitrary connected patterns. Uses the closed-form star /
 /// 4-cycle kernels of appendix D when the pattern allows, the generic
-/// embedding enumerator otherwise. Sequential (the embedding engine has no
-/// parallel kernel yet), so it ignores ctx.threads.
+/// embedding enumerator otherwise. Sequential; ParallelPatternOracle
+/// (dsd/parallel_oracle.h) derives from this and dispatches the hot
+/// queries to the src/parallel/ pattern kernels on ctx.threads workers.
 class PatternOracle : public MotifOracle {
  public:
   /// use_special_kernels = false forces the generic embedding engine even
@@ -172,6 +173,12 @@ class PatternOracle : public MotifOracle {
                                     const ExecutionContext& ctx) const override;
   uint64_t CountInstancesImpl(const Graph& graph, std::span<const char> alive,
                               const ExecutionContext& ctx) const override;
+
+  /// Kernel-dispatch state, shared with ParallelPatternOracle so the
+  /// parallel implementation takes exactly the same special-kernel branches
+  /// as this class (the bit-identical contract is per branch).
+  int star_tails() const { return star_tails_; }
+  bool four_cycle_kernel() const { return is_four_cycle_; }
 
  private:
   Pattern pattern_;

@@ -40,6 +40,20 @@ std::unique_ptr<MotifOracle> BuildCliqueOracle(int h,
   return std::make_unique<CliqueOracle>(h);
 }
 
+std::unique_ptr<MotifOracle> BuildPatternOracle(Pattern pattern,
+                                                const OracleOptions& options) {
+  // Same policy as the clique side: a thread budget > 1 selects the
+  // parallel pattern oracle (per-root sharding of the embedding enumerator,
+  // per-vertex parallel closed forms); a sequential budget keeps the plain
+  // oracle.
+  if (options.threads > 1) {
+    return std::make_unique<ParallelPatternOracle>(std::move(pattern),
+                                                   options.use_special_kernels);
+  }
+  return std::make_unique<PatternOracle>(std::move(pattern),
+                                         options.use_special_kernels);
+}
+
 void RegisterBuiltins(OracleFactory& factory) {
   auto add = [&factory](std::string name, OracleFactory::Builder builder) {
     Status status = factory.Register(std::move(name), std::move(builder));
@@ -58,8 +72,7 @@ void RegisterBuiltins(OracleFactory& factory) {
   }
   for (const NamedPattern& pattern : kNamedPatterns) {
     add(pattern.name, [make = pattern.make](const OracleOptions& options) {
-      return std::make_unique<PatternOracle>(make(),
-                                             options.use_special_kernels);
+      return BuildPatternOracle(make(), options);
     });
   }
 }
@@ -135,7 +148,8 @@ StatusOr<std::unique_ptr<MotifOracle>> OracleFactory::Make(
   }
   // Policy decorators are the factory's job, applied uniformly to built-in
   // and plugged-in motifs. Caching pays only when one query out-costs the
-  // O(n + m) content hash keying the cache; edge degrees are already linear.
+  // cache bookkeeping (generation-tag keying, mask scan, hit-path copy);
+  // edge degrees are already linear.
   if (options.cache && oracle->MotifSize() >= 3) {
     oracle = std::make_unique<CachingOracle>(std::move(oracle),
                                              options.cache_budget_bytes);

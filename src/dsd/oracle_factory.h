@@ -6,9 +6,9 @@
 // vocabulary (h-cliques 2..9 with the edge/triangle aliases, and the named
 // patterns), and embedders may register their own motifs under fresh names.
 // The factory — not the caller — decides which implementation serves a
-// request: a thread budget > 1 picks the parallel clique kernels for clique
-// motifs, and the caching decorator is layered on top for motifs whose
-// queries are expensive enough to memoize. dsd::Solve routes every request
+// request: a thread budget > 1 picks the parallel kernels (clique and
+// pattern oracles alike), and the caching decorator is layered on top for
+// motifs whose queries are expensive enough to memoize. dsd::Solve routes every request
 // through here, so execution policy set on a SolveRequest reaches the
 // oracle without any call site knowing the concrete types.
 #ifndef DSD_DSD_ORACLE_FACTORY_H_
@@ -30,14 +30,16 @@ namespace dsd {
 /// How the oracle for one run should execute.
 struct OracleOptions {
   /// Resolved worker-thread budget. > 1 selects implementations backed by
-  /// the src/parallel/ kernels where they exist (clique motifs); motifs
-  /// without a parallel kernel are built sequential regardless.
+  /// the src/parallel/ kernels: ParallelCliqueOracle for clique motifs and
+  /// ParallelPatternOracle for the named patterns; plugged-in motifs decide
+  /// for themselves in their builder.
   unsigned threads = 1;
 
-  /// Wrap the oracle in a memoizing CachingOracle. Applied only when a
-  /// query costs more than the O(n + m) content hash that keys the cache —
-  /// i.e. motifs of size >= 3; for the edge motif a degree scan is already
-  /// linear and the decorator is skipped.
+  /// Wrap the oracle in a memoizing CachingOracle. Applied only to motifs
+  /// of size >= 3, whose queries out-cost the cache bookkeeping (keying is
+  /// the graph's O(1) generation tag plus an O(n) mask scan, and a hit
+  /// still copies the memoized vector); an edge-degree scan is itself
+  /// linear, so the edge motif skips the decorator.
   bool cache = false;
 
   /// Byte budget for the cache's memoized vectors (see CachingOracle).

@@ -2,12 +2,16 @@
 
 #include "graph/subgraph.h"
 #include "parallel/parallel_clique.h"
+#include "parallel/parallel_pattern.h"
 
 namespace dsd {
 
-// Alive-masked queries reduce to whole-graph kernel runs on the induced
-// alive subgraph (InducedAliveSubgraph — the same reduction the sequential
-// oracle uses), keeping the kernels' per-root partitioning intact.
+// Alive-masked clique queries reduce to whole-graph kernel runs on the
+// induced alive subgraph (InducedAliveSubgraph — the same reduction the
+// sequential oracle uses), keeping the kernels' per-root partitioning
+// intact. The pattern kernels take the mask natively (the embedding
+// enumerator and the closed forms are alive-aware), matching the
+// sequential PatternOracle paths exactly.
 
 std::vector<uint64_t> ParallelCliqueOracle::DegreesImpl(
     const Graph& graph, std::span<const char> alive,
@@ -33,6 +37,34 @@ uint64_t ParallelCliqueOracle::CountInstancesImpl(
   if (alive.empty()) return ParallelCliqueCount(graph, h(), ctx.threads);
   Subgraph sub = InducedAliveSubgraph(graph, alive);
   return ParallelCliqueCount(sub.graph, h(), ctx.threads);
+}
+
+std::vector<uint64_t> ParallelPatternOracle::DegreesImpl(
+    const Graph& graph, std::span<const char> alive,
+    const ExecutionContext& ctx) const {
+  if (ctx.threads <= 1) return PatternOracle::DegreesImpl(graph, alive, ctx);
+  if (star_tails() >= 2) {
+    return ParallelStarDegrees(graph, star_tails(), alive, ctx.threads);
+  }
+  if (four_cycle_kernel()) {
+    return ParallelFourCycleDegrees(graph, alive, ctx.threads);
+  }
+  return ParallelPatternDegrees(graph, pattern(), alive, ctx.threads);
+}
+
+uint64_t ParallelPatternOracle::CountInstancesImpl(
+    const Graph& graph, std::span<const char> alive,
+    const ExecutionContext& ctx) const {
+  if (ctx.threads <= 1) {
+    return PatternOracle::CountInstancesImpl(graph, alive, ctx);
+  }
+  if (star_tails() >= 2) {
+    return ParallelStarCount(graph, star_tails(), alive, ctx.threads);
+  }
+  if (four_cycle_kernel()) {
+    return ParallelFourCycleCount(graph, alive, ctx.threads);
+  }
+  return ParallelPatternCount(graph, pattern(), alive, ctx.threads);
 }
 
 }  // namespace dsd

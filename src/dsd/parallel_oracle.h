@@ -1,15 +1,16 @@
-// ParallelCliqueOracle: the CliqueOracle contract served by the Section 6.3
-// parallel kernels.
+// ParallelCliqueOracle / ParallelPatternOracle: the oracle contracts served
+// by the Section 6.3 parallel kernels.
 //
 // The kClist DAG partitions h-clique instances by their degeneracy-minimal
-// root, so Degrees and CountInstances — the queries the exact and core
-// algorithms issue on every (k, Psi)-core restriction — parallelise
-// embarrassingly. This oracle dispatches those two queries to
-// ParallelCliqueDegrees / ParallelCliqueCount on ctx.threads workers and
-// inherits everything else (PeelVertex, Groups, core bounds) from
-// CliqueOracle unchanged. Results are bit-identical to the sequential
-// oracle for every thread count: the kernels reduce integer per-worker
-// partials in a fixed order.
+// root, and the embedding enumerator partitions pattern embeddings by the
+// data vertex their first search-order position maps to — so Degrees and
+// CountInstances (the queries the exact and core algorithms issue on every
+// (k, Psi)-core restriction) parallelise embarrassingly for both problem
+// families. These oracles dispatch those two queries to the src/parallel/
+// kernels on ctx.threads workers and inherit everything else (PeelVertex,
+// Groups, core bounds) from their sequential bases unchanged. Results are
+// bit-identical to the sequential oracles for every thread count: the only
+// cross-worker combination in the kernels is uint64 addition.
 #ifndef DSD_DSD_PARALLEL_ORACLE_H_
 #define DSD_DSD_PARALLEL_ORACLE_H_
 
@@ -31,6 +32,32 @@ class ParallelCliqueOracle : public CliqueOracle {
 
   /// No intrinsic cap: the kernels clamp per call by hardware concurrency
   /// and vertex count, so any budget the caller resolved is usable.
+  unsigned MaxUsefulThreads() const override {
+    return std::numeric_limits<unsigned>::max();
+  }
+
+ protected:
+  std::vector<uint64_t> DegreesImpl(const Graph& graph,
+                                    std::span<const char> alive,
+                                    const ExecutionContext& ctx) const override;
+  uint64_t CountInstancesImpl(const Graph& graph, std::span<const char> alive,
+                              const ExecutionContext& ctx) const override;
+};
+
+/// PatternOracle whose hot queries run on ctx.threads workers: the root
+/// loop of the generic embedding enumerator is sharded per worker, and the
+/// appendix-D closed forms (stars, 4-cycle) become per-vertex parallel
+/// passes — the same kernel branch the sequential oracle would take, so
+/// results match it bit-for-bit under every thread count. A sequential
+/// context falls straight through to PatternOracle.
+class ParallelPatternOracle : public PatternOracle {
+ public:
+  explicit ParallelPatternOracle(Pattern pattern,
+                                 bool use_special_kernels = true)
+      : PatternOracle(std::move(pattern), use_special_kernels) {}
+
+  /// Same contract as ParallelCliqueOracle: the kernels clamp per call by
+  /// hardware concurrency and the root-vertex count.
   unsigned MaxUsefulThreads() const override {
     return std::numeric_limits<unsigned>::max();
   }

@@ -30,14 +30,20 @@ std::vector<VertexId> RestrictToCoreProtected(
   std::sort(survivors.begin(), survivors.end());
   // Polled like RestrictToCore: every round is a full degree pass, and a
   // superset of the protected core is a valid (best-effort) search space.
+  // Like RestrictToCore, rounds are alive-masked queries on the parent
+  // graph, keyed by its generation tag in the CachingOracle — an induced
+  // rebuild per round would make every query an uncacheable fresh graph.
+  std::vector<char> alive(graph.NumVertices(), 0);
+  for (VertexId v : survivors) alive[v] = 1;
   while (!ctx.ShouldStop()) {
-    Subgraph sub = InducedSubgraph(graph, survivors);
-    std::vector<uint64_t> degree = oracle.Degrees(sub.graph, {}, ctx);
+    std::vector<uint64_t> degree = oracle.Degrees(graph, alive, ctx);
     std::vector<VertexId> next;
     next.reserve(survivors.size());
-    for (VertexId v = 0; v < sub.graph.NumVertices(); ++v) {
-      if (degree[v] >= k || is_query[sub.to_parent[v]]) {
-        next.push_back(sub.to_parent[v]);
+    for (VertexId v : survivors) {
+      if (degree[v] >= k || is_query[v]) {
+        next.push_back(v);
+      } else {
+        alive[v] = 0;
       }
     }
     if (next.size() == survivors.size()) break;

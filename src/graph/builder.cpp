@@ -46,6 +46,9 @@ Graph GraphBuilder::Build() {
     std::sort(neighbors.begin() + static_cast<ptrdiff_t>(offsets[v]),
               neighbors.begin() + static_cast<ptrdiff_t>(offsets[v + 1]));
   }
+  // The Graph constructor stamps a fresh generation tag here: every Build()
+  // is a new content state, so identity-keyed caches can never confuse it
+  // with a previously built graph (even a byte-identical one).
   return Graph(std::move(offsets), std::move(neighbors));
 }
 

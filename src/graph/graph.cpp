@@ -1,14 +1,49 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <utility>
 
 namespace dsd {
 
+uint64_t Graph::NextGeneration() {
+  // Starts at 1 so 0 can serve callers as a "no graph" sentinel. A 64-bit
+  // counter cannot wrap in practice, so tags are never reused and an
+  // identity-keyed cache can never confuse two content states.
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 Graph::Graph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors)
-    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+    : offsets_(std::move(offsets)),
+      neighbors_(std::move(neighbors)),
+      generation_(NextGeneration()) {
   assert(!offsets_.empty());
   assert(offsets_.back() == neighbors_.size());
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : offsets_(std::move(other.offsets_)),
+      neighbors_(std::move(other.neighbors_)),
+      generation_(other.generation_) {
+  // clear() never allocates, so resetting the source stays noexcept-safe;
+  // NumVertices() treats the empty offsets vector as the empty graph.
+  other.offsets_.clear();
+  other.neighbors_.clear();
+  other.generation_ = NextGeneration();
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this != &other) {
+    offsets_ = std::move(other.offsets_);
+    neighbors_ = std::move(other.neighbors_);
+    generation_ = other.generation_;
+    other.offsets_.clear();
+    other.neighbors_.clear();
+    other.generation_ = NextGeneration();
+  }
+  return *this;
 }
 
 EdgeId Graph::MaxDegree() const {

@@ -5,9 +5,22 @@
 // a flat offsets array of size n+1 and a flat, per-vertex-sorted neighbor
 // array of size 2m. Sorted adjacency gives O(log d) HasEdge and linear-time
 // sorted intersections for clique enumeration.
+//
+// Every graph additionally carries a *generation tag* (Generation()): a
+// process-wide monotonic counter stamped whenever a graph's content comes
+// into being — construction from CSR arrays (GraphBuilder::Build, the
+// subgraph extractors), the default constructor, and the restamping of a
+// moved-from object. Because content is immutable after construction, equal
+// tags imply equal content, which makes the tag a cheap identity key:
+// CachingOracle keys its memo on (generation, alive-mask hash) instead of
+// hashing the whole CSR per query. Copies share the tag (identical content,
+// so shared cache entries are correct by construction); moves transfer it
+// and restamp the emptied source so a moved-from graph can never alias a
+// cache entry recorded for the content that left it.
 #ifndef DSD_GRAPH_GRAPH_H_
 #define DSD_GRAPH_GRAPH_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -20,16 +33,31 @@ namespace dsd {
 class Graph {
  public:
   /// Empty graph.
-  Graph() : offsets_(1, 0) {}
+  Graph() : offsets_(1, 0), generation_(NextGeneration()) {}
 
   /// Builds from prepared CSR arrays. offsets.size() == n+1,
   /// neighbors.size() == offsets.back(), each adjacency list sorted.
   /// GraphBuilder is the supported way to produce these.
   Graph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors);
 
-  /// Number of vertices.
+  /// Copies share the source's generation: the content is identical, so any
+  /// answer cached under the tag is equally valid for the copy.
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+
+  /// Moves transfer the generation with the content and restamp the source
+  /// (left as a valid empty graph) with a fresh tag, so identity-keyed
+  /// caches can never serve the departed content's answers for it.
+  /// Allocation-free (the empty state is the empty offsets vector), so the
+  /// noexcept is honest.
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
+
+  /// Number of vertices. The empty offsets vector (the moved-from state)
+  /// counts as the empty graph.
   VertexId NumVertices() const {
-    return static_cast<VertexId>(offsets_.size() - 1);
+    return offsets_.empty() ? 0
+                            : static_cast<VertexId>(offsets_.size() - 1);
   }
 
   /// Number of undirected edges.
@@ -53,9 +81,18 @@ class Graph {
   /// All edges as normalized (u < v) pairs, in CSR order.
   std::vector<Edge> Edges() const;
 
+  /// Generation tag: process-wide unique per content state (see the header
+  /// comment). Equal tags imply equal content; the converse need not hold
+  /// (two independently built identical graphs get distinct tags).
+  uint64_t Generation() const { return generation_; }
+
  private:
+  /// Next value of the process-wide generation counter (never reused).
+  static uint64_t NextGeneration();
+
   std::vector<EdgeId> offsets_;
   std::vector<VertexId> neighbors_;
+  uint64_t generation_;
 };
 
 }  // namespace dsd

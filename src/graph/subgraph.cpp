@@ -39,6 +39,9 @@ Subgraph InducedSubgraph(const Graph& graph,
     // Parent adjacency is sorted and to_local is order-preserving, so each
     // local adjacency list is already sorted.
   }
+  // Fresh Graph construction = fresh generation tag: the extracted subgraph
+  // is its own content state, distinct (for identity-keyed caches) from the
+  // parent and from any earlier extraction of the same vertex set.
   result.graph = Graph(std::move(offsets), std::move(neighbors));
   return result;
 }

@@ -1,0 +1,120 @@
+// ChunkedAccumulator: a shared per-index counter array for the parallel
+// degree kernels, with chunked vertex-range ownership.
+//
+// The per-root kernels (clique and pattern degree counting) scatter +1
+// increments across the whole vertex range: an instance rooted at r bumps
+// every member's counter. The original design gave each worker a private
+// n-sized array and merged after the join — correct and lock-free, but the
+// accumulator memory scaled as threads x n, which dominates on huge graphs
+// once per-core thread budgets are real. This class keeps ONE n-sized
+// totals array and partitions it into contiguous chunks, each guarded by
+// its own mutex; workers buffer increments per chunk in small fixed-size
+// staging vectors and flush a chunk's buffer under that chunk's lock when
+// it fills. Memory is n + threads x chunks x buffer (independent of n in
+// the per-worker term), contention is bounded by the chunk count, and the
+// result is bit-identical to sequential accumulation for every thread
+// count and flush interleaving, because uint64 addition commutes.
+//
+// Usage (w = worker index from ParallelForStrided, sized by the SAME
+// clamped thread count the loop uses):
+//   ChunkedAccumulator acc(n, t);
+//   ParallelForStrided(n, t, [&](unsigned w, uint64_t root) {
+//     ... acc.Add(w, v) for every incremented index v ...
+//   });
+//   std::vector<uint64_t> totals = std::move(acc).Finish();
+#ifndef DSD_PARALLEL_CHUNKED_ACCUMULATOR_H_
+#define DSD_PARALLEL_CHUNKED_ACCUMULATOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace dsd {
+
+class ChunkedAccumulator {
+ public:
+  /// Accumulates into `size` counters on behalf of `workers` workers (the
+  /// clamped count actually spawned — see ResolveThreadCount's 2-arg
+  /// overload; sizing by the unclamped budget would resurrect the memory
+  /// scaling this class exists to remove).
+  explicit ChunkedAccumulator(uint64_t size, unsigned workers)
+      : totals_(size, 0),
+        workers_(std::max(workers, 1u)),
+        chunk_shift_(ChunkShift(size, workers_)),
+        num_chunks_(workers_ > 1 ? ((size >> chunk_shift_) + 1) : 1),
+        locks_(num_chunks_) {
+    // Buffers grow on demand (geometric push_back, capped by the flush
+    // threshold): eagerly reserving workers x chunks x threshold up front
+    // would reintroduce budget-proportional memory for workloads that
+    // never touch most (worker, chunk) pairs.
+    if (workers_ > 1) {
+      staging_.resize(static_cast<size_t>(workers_) * num_chunks_);
+    }
+  }
+
+  ChunkedAccumulator(const ChunkedAccumulator&) = delete;
+  ChunkedAccumulator& operator=(const ChunkedAccumulator&) = delete;
+
+  /// Adds 1 to `index`, called by `worker` (its ParallelForStrided index).
+  /// Single-worker runs write straight through; parallel runs stage the
+  /// increment and flush the chunk under its lock when the buffer fills.
+  void Add(unsigned worker, uint64_t index) {
+    if (workers_ == 1) {
+      ++totals_[index];
+      return;
+    }
+    const uint64_t chunk = index >> chunk_shift_;
+    std::vector<uint64_t>& buffer =
+        staging_[static_cast<size_t>(worker) * num_chunks_ + chunk];
+    buffer.push_back(index);
+    if (buffer.size() >= kFlushThreshold) FlushBuffer(chunk, buffer);
+  }
+
+  /// Drains every staging buffer and returns the totals. Call after all
+  /// workers have joined (single-threaded), which is why no locks are
+  /// needed for the leftover partial buffers.
+  std::vector<uint64_t> Finish() && {
+    for (std::vector<uint64_t>& buffer : staging_) {
+      for (uint64_t index : buffer) ++totals_[index];
+      buffer.clear();
+    }
+    return std::move(totals_);
+  }
+
+ private:
+  static constexpr size_t kFlushThreshold = 1024;
+
+  /// Power-of-two chunk width (as a shift) giving roughly one chunk per
+  /// worker: chunk routing on the hot Add path is a shift, not a division.
+  static unsigned ChunkShift(uint64_t size, unsigned workers) {
+    if (workers <= 1) return 63;  // everything in chunk 0
+    uint64_t target = size / workers + 1;  // ~workers chunks
+    unsigned shift = 0;
+    while ((uint64_t{1} << shift) < target) ++shift;
+    return shift;
+  }
+
+  void FlushBuffer(uint64_t chunk, std::vector<uint64_t>& buffer) {
+    std::lock_guard<std::mutex> lock(locks_[chunk].mutex);
+    for (uint64_t index : buffer) ++totals_[index];
+    buffer.clear();
+  }
+
+  // Padded so neighbouring chunk locks don't share a cache line.
+  struct alignas(64) ChunkLock {
+    std::mutex mutex;
+  };
+
+  std::vector<uint64_t> totals_;
+  unsigned workers_;
+  unsigned chunk_shift_;
+  uint64_t num_chunks_;
+  std::vector<ChunkLock> locks_;
+  // staging_[worker * num_chunks_ + chunk]: indices awaiting their +1.
+  std::vector<std::vector<uint64_t>> staging_;
+};
+
+}  // namespace dsd
+
+#endif  // DSD_PARALLEL_CHUNKED_ACCUMULATOR_H_

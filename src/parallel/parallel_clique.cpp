@@ -1,6 +1,7 @@
 #include "parallel/parallel_clique.h"
 
 #include "clique/clique_enumerator.h"
+#include "parallel/chunked_accumulator.h"
 #include "parallel/parallel_for.h"
 
 namespace dsd {
@@ -10,17 +11,17 @@ uint64_t ParallelCliqueCount(const Graph& graph, int h, unsigned threads) {
   // NumVertices() units of work, so extra workers would only spawn and exit.
   const unsigned t = ResolveThreadCount(threads, graph.NumVertices());
   CliqueEnumerator enumerator(graph, h);
-  std::vector<uint64_t> partial(t, 0);
+  std::vector<PaddedCounter> partial(t);
   ParallelForStrided(graph.NumVertices(), t,
                      [&](unsigned worker, uint64_t root) {
                        enumerator.EnumerateFromRoot(
                            static_cast<VertexId>(root),
                            [&](std::span<const VertexId>) {
-                             ++partial[worker];
+                             ++partial[worker].value;
                            });
                      });
   uint64_t total = 0;
-  for (uint64_t p : partial) total += p;
+  for (const PaddedCounter& p : partial) total += p.value;
   return total;
 }
 
@@ -28,22 +29,22 @@ std::vector<uint64_t> ParallelCliqueDegrees(const Graph& graph, int h,
                                             unsigned threads) {
   const unsigned t = ResolveThreadCount(threads, graph.NumVertices());
   CliqueEnumerator enumerator(graph, h);
-  // Per-worker private accumulators avoid atomics on the hot path.
-  std::vector<std::vector<uint64_t>> partial(
-      t, std::vector<uint64_t>(graph.NumVertices(), 0));
+  // Chunk-owned shared accumulator: one n-sized totals array with buffered,
+  // per-chunk-locked increments, so accumulator memory no longer scales
+  // with the thread count (it used to be t private n-sized arrays). The
+  // result stays bit-identical for every t: integer addition commutes.
+  ChunkedAccumulator accumulator(graph.NumVertices(), t);
   ParallelForStrided(graph.NumVertices(), t,
                      [&](unsigned worker, uint64_t root) {
                        enumerator.EnumerateFromRoot(
                            static_cast<VertexId>(root),
                            [&](std::span<const VertexId> clique) {
-                             for (VertexId v : clique) ++partial[worker][v];
+                             for (VertexId v : clique) {
+                               accumulator.Add(worker, v);
+                             }
                            });
                      });
-  std::vector<uint64_t> degrees(graph.NumVertices(), 0);
-  for (const std::vector<uint64_t>& p : partial) {
-    for (VertexId v = 0; v < graph.NumVertices(); ++v) degrees[v] += p[v];
-  }
-  return degrees;
+  return std::move(accumulator).Finish();
 }
 
 }  // namespace dsd

@@ -30,6 +30,13 @@ inline unsigned ResolveThreadCount(unsigned requested, uint64_t work_items) {
       std::min<uint64_t>(ResolveThreadCount(requested), cap));
 }
 
+/// A per-worker reduction slot padded to its own cache line: workers that
+/// bump their slot on a hot inner loop (per enumerated instance) would
+/// otherwise false-share one line and serialise on its ping-pong.
+struct alignas(64) PaddedCounter {
+  uint64_t value = 0;
+};
+
 /// Runs fn(thread_index, begin, end) on `threads` workers over [0, n) in
 /// strided blocks: worker i handles indices i, i+T, i+2T, ... — striding
 /// balances skewed per-index costs (hub vertices) across workers.

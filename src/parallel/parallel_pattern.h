@@ -1,0 +1,63 @@
+// Parallel kernels behind the pattern-oracle hot queries (the PDS side of
+// the Section 6.3 parallelizability claim).
+//
+// The generic embedding enumerator partitions embeddings by the data vertex
+// their first search-order pattern position maps to (the "root"), exactly
+// like the kClist DAG partitions cliques by degeneracy-minimal root — so
+// Degrees and CountInstances shard per root across ParallelForStrided
+// workers. The appendix-D closed-form kernels (stars, 4-cycle) are
+// per-vertex formulas and parallelise even more directly: each worker owns
+// the output entries of its strided vertices. Every kernel is bit-identical
+// to its sequential counterpart in pattern/ for every thread count: the
+// only cross-worker combination is uint64 addition, which commutes.
+//
+// Thread counts are clamped by the root-vertex count (ResolveThreadCount's
+// 2-arg overload) so tiny graphs neither spawn idle workers nor allocate
+// per-worker scratch they cannot use.
+#ifndef DSD_PARALLEL_PARALLEL_PATTERN_H_
+#define DSD_PARALLEL_PARALLEL_PATTERN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+
+namespace dsd {
+
+/// Pattern-degrees via per-root sharding of the generic embedding
+/// enumerator; matches EmbeddingEnumerator::Degrees(alive) exactly.
+std::vector<uint64_t> ParallelPatternDegrees(const Graph& graph,
+                                             const Pattern& pattern,
+                                             std::span<const char> alive,
+                                             unsigned threads);
+
+/// mu(G, Psi) via per-root sharding; matches
+/// EmbeddingEnumerator::CountInstances(alive) exactly.
+uint64_t ParallelPatternCount(const Graph& graph, const Pattern& pattern,
+                              std::span<const char> alive, unsigned threads);
+
+/// Parallel StarDegrees (appendix D.1 closed form), x >= 2.
+std::vector<uint64_t> ParallelStarDegrees(const Graph& graph, int x,
+                                          std::span<const char> alive,
+                                          unsigned threads);
+
+/// Parallel StarCount.
+uint64_t ParallelStarCount(const Graph& graph, int x,
+                           std::span<const char> alive, unsigned threads);
+
+/// Parallel FourCycleDegrees (appendix D.2 two-path grouping). Each worker
+/// carries its own O(n) path-count scratch — inherent to the formula, and
+/// bounded by the clamped worker count.
+std::vector<uint64_t> ParallelFourCycleDegrees(const Graph& graph,
+                                               std::span<const char> alive,
+                                               unsigned threads);
+
+/// Parallel FourCycleCount (= sum of degrees / 4).
+uint64_t ParallelFourCycleCount(const Graph& graph,
+                                std::span<const char> alive, unsigned threads);
+
+}  // namespace dsd
+
+#endif  // DSD_PARALLEL_PARALLEL_PATTERN_H_

@@ -80,17 +80,29 @@ void EmbeddingEnumerator::Backtrack(const std::vector<int>& order,
   }
 }
 
+EmbeddingEnumerator::Scratch EmbeddingEnumerator::MakeScratch() const {
+  return {std::vector<VertexId>(pattern_.size()),
+          std::vector<char>(graph_.NumVertices(), 0)};
+}
+
+void EmbeddingEnumerator::EnumerateFromRoot(VertexId root,
+                                            std::span<const char> alive,
+                                            Scratch& scratch,
+                                            const EmbeddingCallback& cb) const {
+  if (!alive.empty() && !alive[root]) return;
+  const int p0 = default_order_[0];
+  scratch.image[p0] = root;
+  scratch.used_graph[root] = 1;
+  Backtrack(default_order_, 1, scratch.image, 1u << p0, alive,
+            scratch.used_graph, cb);
+  scratch.used_graph[root] = 0;
+}
+
 void EmbeddingEnumerator::EnumerateAll(std::span<const char> alive,
                                        const EmbeddingCallback& cb) const {
-  std::vector<VertexId> image(pattern_.size());
-  std::vector<char> used_graph(graph_.NumVertices(), 0);
-  const int p0 = default_order_[0];
+  Scratch scratch = MakeScratch();
   for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
-    if (!alive.empty() && !alive[v]) continue;
-    image[p0] = v;
-    used_graph[v] = 1;
-    Backtrack(default_order_, 1, image, 1u << p0, alive, used_graph, cb);
-    used_graph[v] = 0;
+    EnumerateFromRoot(v, alive, scratch, cb);
   }
 }
 

@@ -37,12 +37,34 @@ struct InstanceGroup {
 /// to an alive vertex mask.
 class EmbeddingEnumerator {
  public:
+  /// Reusable search buffers for EnumerateFromRoot, sized by MakeScratch().
+  /// One per worker: the enumerator itself is const-thread-safe, so the
+  /// parallel pattern kernels shard the root loop across workers that share
+  /// the enumerator and each own a Scratch.
+  struct Scratch {
+    std::vector<VertexId> image;   // pattern position -> data vertex
+    std::vector<char> used_graph;  // data vertices on the current path
+  };
+
   EmbeddingEnumerator(const Graph& graph, const Pattern& pattern);
+
+  /// Scratch buffers sized for this (graph, pattern) pair, all-clear.
+  Scratch MakeScratch() const;
 
   /// Invokes cb for every embedding using only alive vertices. An empty
   /// `alive` span means every vertex is alive.
   void EnumerateAll(std::span<const char> alive,
                     const EmbeddingCallback& cb) const;
+
+  /// Invokes cb for every embedding that maps the first search-order
+  /// pattern vertex to `root` (skipped outright when root is not alive).
+  /// Roots partition the embedding space — every embedding has exactly one
+  /// such image — so EnumerateAll == union over all roots, which is what
+  /// lets the parallel kernels shard this loop per root. `scratch` must
+  /// come from MakeScratch() and not be shared between concurrent calls;
+  /// its used_graph is all-clear again on return.
+  void EnumerateFromRoot(VertexId root, std::span<const char> alive,
+                         Scratch& scratch, const EmbeddingCallback& cb) const;
 
   /// Invokes cb for every embedding whose image contains `v` (each embedding
   /// exactly once), restricted to alive vertices; v itself need not be alive.

@@ -1,0 +1,227 @@
+// Generation-tagged graph identity and the identity-keyed CachingOracle.
+//
+// The cache key is (Graph::Generation(), alive-mask hash): the generation
+// tag is process-wide unique per content state, so stale hits are
+// impossible by construction — every mutation path (rebuilding through
+// GraphBuilder, extracting a subgraph, moving a graph out) produces a
+// fresh tag. The suite drives each of those paths between queries and
+// uses the hit/miss counters to prove both directions: mutated content
+// never hits, and — the whole point of the redesign — the O(n + m)
+// content fingerprint no longer runs on the hot path, observable because
+// two content-identical but independently built graphs now get distinct
+// cache slots (a content fingerprint would have shared them).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "dsd/caching_oracle.h"
+#include "dsd/motif_oracle.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+
+namespace dsd {
+namespace {
+
+Graph TriangleChain() {
+  GraphBuilder builder;
+  // Two triangles sharing vertex 2, plus a pendant.
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(2, 4);
+  builder.AddEdge(4, 5);
+  return builder.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Generation tags
+
+TEST(GraphGenerationTest, EveryConstructionGetsAFreshTag) {
+  Graph a = TriangleChain();
+  Graph b = TriangleChain();  // identical content, independent build
+  Graph c;                    // empty
+  EXPECT_NE(a.Generation(), 0u);
+  EXPECT_NE(a.Generation(), b.Generation());
+  EXPECT_NE(a.Generation(), c.Generation());
+  EXPECT_NE(b.Generation(), c.Generation());
+}
+
+TEST(GraphGenerationTest, TagsAreMonotonic) {
+  Graph a = TriangleChain();
+  Graph b = TriangleChain();
+  EXPECT_LT(a.Generation(), b.Generation());
+}
+
+TEST(GraphGenerationTest, CopiesShareTheTag) {
+  Graph a = TriangleChain();
+  Graph b = a;
+  EXPECT_EQ(a.Generation(), b.Generation());
+  Graph c;
+  c = a;
+  EXPECT_EQ(a.Generation(), c.Generation());
+}
+
+TEST(GraphGenerationTest, MoveTransfersTheTagAndRestampsTheSource) {
+  Graph a = TriangleChain();
+  const uint64_t tag = a.Generation();
+  Graph b = std::move(a);
+  EXPECT_EQ(b.Generation(), tag);
+  // The moved-from graph is a valid empty graph under a fresh tag, so it
+  // can never alias cache entries recorded for the content that left it.
+  EXPECT_EQ(a.NumVertices(), 0u);
+  EXPECT_NE(a.Generation(), tag);
+  Graph c = TriangleChain();
+  const uint64_t c_tag = c.Generation();
+  a = std::move(c);
+  EXPECT_EQ(a.Generation(), c_tag);
+  EXPECT_NE(c.Generation(), c_tag);
+  EXPECT_EQ(c.NumVertices(), 0u);
+}
+
+TEST(GraphGenerationTest, SubgraphExtractionGetsItsOwnTag) {
+  Graph g = TriangleChain();
+  std::vector<VertexId> vertices = {0, 1, 2};
+  Subgraph first = InducedSubgraph(g, vertices);
+  Subgraph second = InducedSubgraph(g, vertices);
+  EXPECT_NE(first.graph.Generation(), g.Generation());
+  EXPECT_NE(first.graph.Generation(), second.graph.Generation());
+}
+
+// ---------------------------------------------------------------------------
+// Identity-keyed caching: staleness is impossible
+
+TEST(CachingGenerationTest, BuilderRebuildBetweenQueriesCannotServeStale) {
+  CachingOracle oracle(std::make_unique<CliqueOracle>(3));
+  CliqueOracle reference(3);
+
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);
+  Graph before = builder.Build();
+  EXPECT_EQ(oracle.Degrees(before, {}), reference.Degrees(before, {}));
+  EXPECT_EQ(oracle.CountInstances(before, {}), 1u);
+
+  // "Mutate": rebuild with one more triangle and query the new graph.
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(0, 3);
+  Graph after = builder.Build();
+  EXPECT_EQ(oracle.Degrees(after, {}), reference.Degrees(after, {}));
+  EXPECT_EQ(oracle.CountInstances(after, {}), 2u);
+
+  CachingOracle::CacheStats stats = oracle.cache_stats();
+  EXPECT_EQ(stats.degree_hits, 0u);
+  EXPECT_EQ(stats.degree_misses, 2u);
+  EXPECT_EQ(stats.count_hits, 0u);
+  EXPECT_EQ(stats.count_misses, 2u);
+}
+
+TEST(CachingGenerationTest, SubgraphQueriesGetTheirOwnSlots) {
+  CachingOracle oracle(std::make_unique<CliqueOracle>(3));
+  CliqueOracle reference(3);
+  Graph g = TriangleChain();
+  EXPECT_EQ(oracle.CountInstances(g, {}), reference.CountInstances(g, {}));
+
+  std::vector<VertexId> vertices = {0, 1, 2, 3};
+  Subgraph sub = InducedSubgraph(g, vertices);
+  // The extracted subgraph is a different content state: its query must
+  // miss (and answer for ITS content), not reuse the parent's entry.
+  EXPECT_EQ(oracle.CountInstances(sub.graph, {}),
+            reference.CountInstances(sub.graph, {}));
+  CachingOracle::CacheStats stats = oracle.cache_stats();
+  EXPECT_EQ(stats.count_hits, 0u);
+  EXPECT_EQ(stats.count_misses, 2u);
+}
+
+TEST(CachingGenerationTest, AliveMaskMutationMissesAndRestoredMaskHits) {
+  CachingOracle oracle(std::make_unique<CliqueOracle>(3));
+  CliqueOracle reference(3);
+  Graph g = gen::PlantedClique(60, 0.1, 8, 11);
+
+  std::vector<char> alive(g.NumVertices(), 1);
+  alive[3] = 0;
+  const std::vector<uint64_t> masked = oracle.Degrees(g, alive);
+  EXPECT_EQ(masked, reference.Degrees(g, alive));
+
+  alive[7] = 0;  // mutate the mask between queries
+  EXPECT_EQ(oracle.Degrees(g, alive), reference.Degrees(g, alive));
+  EXPECT_EQ(oracle.cache_stats().degree_hits, 0u);
+  EXPECT_EQ(oracle.cache_stats().degree_misses, 2u);
+
+  alive[7] = 1;  // restore: identical (graph, mask) again
+  EXPECT_EQ(oracle.Degrees(g, alive), masked);
+  EXPECT_EQ(oracle.cache_stats().degree_hits, 1u);
+}
+
+TEST(CachingGenerationTest, MovedFromGraphCannotAliasItsOldEntries) {
+  CachingOracle oracle(std::make_unique<CliqueOracle>(3));
+  Graph g = TriangleChain();
+  const uint64_t count = oracle.CountInstances(g, {});
+  EXPECT_EQ(count, 2u);
+
+  Graph stolen = std::move(g);
+  // The content (and its tag) moved: the new owner hits the warm entry.
+  EXPECT_EQ(oracle.CountInstances(stolen, {}), count);
+  EXPECT_EQ(oracle.cache_stats().count_hits, 1u);
+  // The moved-from graph is empty under a fresh tag: its query misses and
+  // answers for the empty content, never the departed triangles.
+  EXPECT_EQ(oracle.CountInstances(g, {}), 0u);
+  EXPECT_EQ(oracle.cache_stats().count_hits, 1u);
+  EXPECT_EQ(oracle.cache_stats().count_misses, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// The fingerprint is gone from the hot path
+
+TEST(CachingGenerationTest, ContentTwinsNoLongerShareEntries) {
+  // Under the old content fingerprint two byte-identical graphs hashed to
+  // the same key, so the twin's first query HIT. Identity keying must make
+  // it miss — the observable proof that no content hashing runs per query.
+  CachingOracle oracle(std::make_unique<CliqueOracle>(3));
+  Graph a = TriangleChain();
+  Graph b = TriangleChain();
+  EXPECT_EQ(oracle.CountInstances(a, {}), oracle.CountInstances(b, {}));
+  CachingOracle::CacheStats stats = oracle.cache_stats();
+  EXPECT_EQ(stats.count_hits, 0u);
+  EXPECT_EQ(stats.count_misses, 2u);
+}
+
+TEST(CachingGenerationTest, CopiedGraphSharesEntriesByTag) {
+  // The flip side: a copy carries the tag, so it may (correctly) reuse the
+  // original's entries without any hashing of its content.
+  CachingOracle oracle(std::make_unique<CliqueOracle>(3));
+  Graph a = TriangleChain();
+  const uint64_t count = oracle.CountInstances(a, {});
+  Graph b = a;
+  EXPECT_EQ(oracle.CountInstances(b, {}), count);
+  CachingOracle::CacheStats stats = oracle.cache_stats();
+  EXPECT_EQ(stats.count_hits, 1u);
+  EXPECT_EQ(stats.count_misses, 1u);
+}
+
+TEST(CachingGenerationTest, AllAliveMaskCanonicalisesToEmptySpan) {
+  // An all-ones mask answers exactly like the empty span; the key
+  // canonicalisation keeps them one entry (a hit, not a second miss).
+  CachingOracle oracle(std::make_unique<CliqueOracle>(3));
+  Graph g = TriangleChain();
+  const uint64_t count = oracle.CountInstances(g, {});
+  std::vector<char> all_alive(g.NumVertices(), 1);
+  EXPECT_EQ(oracle.CountInstances(g, all_alive), count);
+  // Any nonzero char spells "alive": same canonical key again.
+  std::vector<char> all_alive_2s(g.NumVertices(), 2);
+  EXPECT_EQ(oracle.CountInstances(g, all_alive_2s), count);
+  CachingOracle::CacheStats stats = oracle.cache_stats();
+  EXPECT_EQ(stats.count_hits, 2u);
+  EXPECT_EQ(stats.count_misses, 1u);
+}
+
+}  // namespace
+}  // namespace dsd

@@ -251,13 +251,24 @@ TEST(OracleFactoryTest, CachedParallelStackKeepsCliqueIdentity) {
   EXPECT_GT(oracle.value()->MaxUsefulThreads(), 1u);
 }
 
-TEST(OracleFactoryTest, PatternsIgnoreThreadBudget) {
+TEST(OracleFactoryTest, ThreadBudgetBuildsParallelPatternOracle) {
   OracleOptions options;
   options.threads = 8;
   StatusOr<std::unique_ptr<MotifOracle>> oracle =
       MakeOracle("diamond", options);
   ASSERT_TRUE(oracle.ok());
-  EXPECT_EQ(oracle.value()->MaxUsefulThreads(), 1u);
+  EXPECT_NE(dynamic_cast<ParallelPatternOracle*>(oracle.value().get()),
+            nullptr);
+  EXPECT_GT(oracle.value()->MaxUsefulThreads(), 1u);
+  // A sequential budget still builds the plain pattern oracle, keeping the
+  // no-threads path byte-for-byte the pre-context code.
+  options.threads = 1;
+  StatusOr<std::unique_ptr<MotifOracle>> sequential =
+      MakeOracle("diamond", options);
+  ASSERT_TRUE(sequential.ok());
+  EXPECT_EQ(dynamic_cast<ParallelPatternOracle*>(sequential.value().get()),
+            nullptr);
+  EXPECT_EQ(sequential.value()->MaxUsefulThreads(), 1u);
 }
 
 TEST(OracleFactoryTest, NamesMatchKnownMotifNames) {
@@ -312,20 +323,31 @@ TEST(SolveThreadsTest, SequentialAlgorithmsReportOne) {
   }
 }
 
+TEST(SolveThreadsTest, PatternMotifsSpendTheBudget) {
+  // Star and cycle motifs now have parallel kernels: the effective thread
+  // count reported for them must be the full budget, not 1.
+  Graph g = ParityGraph();
+  for (const char* motif : {"2-star", "3-star", "diamond", "c3-star"}) {
+    SolveRequest request;
+    request.algorithm = "peel";
+    request.threads = 4;
+    request.motif = motif;
+    StatusOr<SolveResponse> solved = Solve(g, request);
+    ASSERT_TRUE(solved.ok()) << motif;
+    EXPECT_EQ(solved.value().stats.threads, 4u) << motif;
+  }
+}
+
 TEST(SolveThreadsTest, SequentialOracleClampsToOne) {
+  // A caller-supplied sequential oracle clamps the effective count: the
+  // budget is only reported where it can actually be spent.
   Graph g = ParityGraph();
   SolveRequest request;
   request.algorithm = "peel";
   request.threads = 4;
-  // Pattern motifs have no parallel kernel: the effective count is honest.
-  request.motif = "diamond";
-  StatusOr<SolveResponse> solved = Solve(g, request);
-  ASSERT_TRUE(solved.ok());
-  EXPECT_EQ(solved.value().stats.threads, 1u);
-  // A caller-supplied sequential oracle clamps the same way.
   CliqueOracle oracle(3);
   request.motif = "ignored";
-  solved = Solve(g, oracle, request);
+  StatusOr<SolveResponse> solved = Solve(g, oracle, request);
   ASSERT_TRUE(solved.ok());
   EXPECT_EQ(solved.value().stats.threads, 1u);
 }

@@ -1,7 +1,11 @@
-// Tests for parallel/: parallel clique counting and parallel core
-// decomposition must agree bit-for-bit with their serial counterparts for
-// every thread count.
+// Tests for parallel/: parallel clique counting, parallel pattern kernels
+// and parallel core decomposition must agree bit-for-bit with their serial
+// counterparts for every thread count.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
 
 #include "clique/clique_enumerator.h"
 #include "core/nucleus.h"
@@ -11,6 +15,9 @@
 #include "parallel/parallel_clique.h"
 #include "parallel/parallel_for.h"
 #include "parallel/parallel_nucleus.h"
+#include "parallel/parallel_pattern.h"
+#include "pattern/isomorphism.h"
+#include "pattern/special.h"
 
 namespace dsd {
 namespace {
@@ -40,6 +47,30 @@ TEST(ResolveThreadCountTest, AutoAndExplicit) {
   EXPECT_EQ(ResolveThreadCount(3), 3u);
 }
 
+TEST(ResolveThreadCountTest, ClampsByWorkItems) {
+  // The 2-arg overload is what the kernels size per-worker scratch and
+  // accumulators by: a tiny root space must clamp a huge budget.
+  EXPECT_EQ(ResolveThreadCount(64, 3), 3u);
+  EXPECT_EQ(ResolveThreadCount(2, 1000), 2u);
+  EXPECT_EQ(ResolveThreadCount(64, 0), 1u);  // zero work still a valid count
+  EXPECT_LE(ResolveThreadCount(0, 5), 5u);   // auto clamps too
+}
+
+TEST(ParallelFor, TinyRangeSpawnsNoIdleWorkers) {
+  // Regression for the pattern-workload clamp: with 3 root vertices and a
+  // 64-thread budget, only worker indices < ResolveThreadCount(64, 3) == 3
+  // may ever appear — extra spawned-and-idle workers would surface here as
+  // larger indices.
+  std::mutex mutex;
+  std::set<unsigned> workers_seen;
+  ParallelForStrided(3, 64, [&](unsigned worker, uint64_t) {
+    std::lock_guard<std::mutex> lock(mutex);
+    workers_seen.insert(worker);
+  });
+  ASSERT_FALSE(workers_seen.empty());
+  EXPECT_LT(*workers_seen.rbegin(), ResolveThreadCount(64, 3));
+}
+
 class ParallelCliqueTest
     : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
 
@@ -61,6 +92,75 @@ INSTANTIATE_TEST_SUITE_P(Sweep, ParallelCliqueTest,
                          ::testing::Combine(::testing::Range(2, 6),
                                             ::testing::Values(1u, 2u, 4u,
                                                               0u)));
+
+// ---------------------------------------------------------------------------
+// Parallel pattern kernels: per-root sharding of the embedding enumerator
+// and the parallel appendix-D closed forms, vs their sequential pattern/
+// counterparts.
+
+class ParallelPatternTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelPatternTest, GenericDegreesAndCountMatchSequential) {
+  const unsigned threads = GetParam();
+  Graph g = gen::ErdosRenyi(70, 0.12, 99);
+  std::vector<char> alive(g.NumVertices(), 1);
+  for (VertexId v = 0; v < g.NumVertices(); v += 4) alive[v] = 0;
+  for (const Pattern& pattern :
+       {Pattern::C3Star(), Pattern::TwoTriangle(), Pattern::Cycle(5)}) {
+    EmbeddingEnumerator enumerator(g, pattern);
+    EXPECT_EQ(ParallelPatternDegrees(g, pattern, {}, threads),
+              enumerator.Degrees({}))
+        << pattern.name();
+    EXPECT_EQ(ParallelPatternDegrees(g, pattern, alive, threads),
+              enumerator.Degrees(alive))
+        << pattern.name();
+    EXPECT_EQ(ParallelPatternCount(g, pattern, alive, threads),
+              enumerator.CountInstances(alive))
+        << pattern.name();
+  }
+}
+
+TEST_P(ParallelPatternTest, SpecialKernelsMatchSequential) {
+  const unsigned threads = GetParam();
+  Graph g = gen::BarabasiAlbert(120, 4, 21);
+  std::vector<char> alive(g.NumVertices(), 1);
+  for (VertexId v = 1; v < g.NumVertices(); v += 5) alive[v] = 0;
+  for (int x : {2, 3, 4}) {
+    EXPECT_EQ(ParallelStarDegrees(g, x, alive, threads),
+              StarDegrees(g, x, alive))
+        << "x=" << x;
+    EXPECT_EQ(ParallelStarCount(g, x, alive, threads), StarCount(g, x, alive))
+        << "x=" << x;
+  }
+  EXPECT_EQ(ParallelFourCycleDegrees(g, alive, threads),
+            FourCycleDegrees(g, alive));
+  EXPECT_EQ(ParallelFourCycleCount(g, {}, threads), FourCycleCount(g, {}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParallelPatternTest,
+                         ::testing::Values(1u, 2u, 4u, 0u));
+
+TEST(ParallelPatternStress, ManySmallShardsUnderOversubscription) {
+  // High-contention case for the TSan job (this suite carries the `unit`
+  // label CI's TSan run selects): far more workers than cores, tiny
+  // per-root shards, every worker funnelling increments through the
+  // chunk-locked accumulator and its own enumerator scratch at once.
+  Graph g = gen::PowerLawWithCommunities(600, 3, 12, 8, 0.8, 0xC0FFEE);
+  const Pattern pattern = Pattern::C3Star();
+  EmbeddingEnumerator enumerator(g, pattern);
+  const std::vector<uint64_t> expected_degrees = enumerator.Degrees({});
+  const uint64_t expected_count = enumerator.CountInstances({});
+  for (unsigned threads : {16u, 32u}) {
+    EXPECT_EQ(ParallelPatternDegrees(g, pattern, {}, threads),
+              expected_degrees)
+        << threads;
+    EXPECT_EQ(ParallelPatternCount(g, pattern, {}, threads), expected_count)
+        << threads;
+    EXPECT_EQ(ParallelCliqueDegrees(g, 3, threads),
+              CliqueEnumerator(g, 3).Degrees())
+        << threads;
+  }
+}
 
 class ParallelNucleusTest
     : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
