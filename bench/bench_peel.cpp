@@ -1,0 +1,130 @@
+// Peeling-engine scaling bench: runs every peeling-based algorithm through
+// dsd::Solve at several thread budgets — the workloads whose hot loop is
+// now the batch-bracket peeling engine (bucket queue + parallel frontier
+// PeelBatch) — over a clique motif and a closed-form star motif, and emits
+// machine-readable JSON (one record per algo x motif x graph x threads) so
+// scripts/run_bench.sh can track the perf trajectory as BENCH_peel.json.
+//
+// Like bench_threads, every multi-threaded run is parity-checked against
+// its threads = 1 baseline: the peeling engine is deterministic by
+// construction (canonical within-bracket order), so any divergence fails
+// the bench with exit 1. Wall-clock scaling itself must be read on a
+// multicore host.
+//
+// Usage: bench_peel [output.json]   (stdout when no path is given)
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.h"
+#include "harness/runner.h"
+
+namespace dsd::bench {
+namespace {
+
+struct BenchGraph {
+  std::string name;
+  Graph graph;
+};
+
+struct Record {
+  std::string algo;
+  std::string motif;
+  std::string graph;
+  unsigned threads_requested = 0;
+  unsigned threads_effective = 0;
+  double wall_seconds = 0.0;
+  double density = 0.0;
+  size_t vertices = 0;
+};
+
+int Run(std::FILE* out) {
+  // The planted-clique demo graph stresses deep, narrow brackets; the
+  // power-law community graph has huge low-degree brackets (the periphery)
+  // where the parallel frontier kernels get real shards.
+  std::vector<BenchGraph> graphs;
+  graphs.push_back({"demo_planted_k15", gen::PlantedClique(500, 0.01, 15, 7)});
+  graphs.push_back(
+      {"communities_6k", gen::PowerLawWithCommunities(6000, 3, 20, 12, 0.9,
+                                                      0x9EE1)});
+
+  // The peeling-based algorithm family: peel and at-least decompose the
+  // whole graph, core-app peels windows top-down.
+  const std::vector<std::string> algos = {"peel", "core-app", "at-least"};
+  const std::vector<std::string> motifs = {"4-clique", "3-star"};
+  const std::vector<unsigned> thread_counts = {1, 2, 4};
+
+  std::vector<Record> records;
+  for (const BenchGraph& bg : graphs) {
+    for (const std::string& algo : algos) {
+      for (const std::string& motif : motifs) {
+        SolveResponse baseline;
+        for (unsigned threads : thread_counts) {
+          SolveRequest request;
+          request.algorithm = algo;
+          request.motif = motif;
+          request.threads = threads;
+          if (algo == "at-least") request.min_size = 32;
+          SolveResponse response = MustSolve(bg.graph, std::move(request));
+          if (threads == thread_counts.front()) {
+            baseline = response;
+          } else if (response.result.vertices != baseline.result.vertices ||
+                     response.result.instances != baseline.result.instances) {
+            std::fprintf(stderr,
+                         "FAIL: %s/%s on %s with %u threads diverged from "
+                         "the sequential answer\n",
+                         algo.c_str(), motif.c_str(), bg.name.c_str(),
+                         threads);
+            return 1;
+          }
+          Record record;
+          record.algo = algo;
+          record.motif = motif;
+          record.graph = bg.name;
+          record.threads_requested = threads;
+          record.threads_effective = response.stats.threads;
+          record.wall_seconds = response.stats.wall_seconds;
+          record.density = response.result.density;
+          record.vertices = response.result.vertices.size();
+          records.push_back(record);
+          std::fprintf(stderr, "%-10s %-9s %-16s threads=%u  %.3f ms\n",
+                       algo.c_str(), motif.c_str(), bg.name.c_str(), threads,
+                       response.stats.wall_seconds * 1e3);
+        }
+      }
+    }
+  }
+
+  std::fprintf(out, "{\n  \"benchmark\": \"peel\",\n  \"results\": [\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(out,
+                 "    {\"algo\": \"%s\", \"motif\": \"%s\", \"graph\": \"%s\", "
+                 "\"threads_requested\": %u, \"threads_effective\": %u, "
+                 "\"wall_seconds\": %.6f, \"density\": %.6f, "
+                 "\"vertices\": %zu}%s\n",
+                 r.algo.c_str(), r.motif.c_str(), r.graph.c_str(),
+                 r.threads_requested, r.threads_effective, r.wall_seconds,
+                 r.density, r.vertices, i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dsd::bench
+
+int main(int argc, char** argv) {
+  std::FILE* out = stdout;
+  if (argc > 1) {
+    out = std::fopen(argv[1], "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", argv[1]);
+      return 1;
+    }
+  }
+  int status = dsd::bench::Run(out);
+  if (out != stdout) std::fclose(out);
+  return status;
+}

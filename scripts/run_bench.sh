@@ -34,6 +34,11 @@ for target in "${targets[@]}"; do
     # time, parity-checked against the sequential run) for trend tracking.
     "$bin" "$OUT_DIR/BENCH_threads.json"
     echo "wrote $OUT_DIR/BENCH_threads.json"
+  elif [[ $target == bench_peel ]]; then
+    # Peeling-engine scaling bench: algo x motif x graph x threads JSON,
+    # parity-checked like bench_threads.
+    "$bin" "$OUT_DIR/BENCH_peel.json"
+    echo "wrote $OUT_DIR/BENCH_peel.json"
   else
     "$bin" | tee "$OUT_DIR/$target.txt"
   fi

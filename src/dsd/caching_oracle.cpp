@@ -159,6 +159,16 @@ uint64_t CachingOracle::PeelVertex(const Graph& graph, VertexId v,
   return inner_->PeelVertex(graph, v, alive, cb);
 }
 
+std::vector<uint64_t> CachingOracle::PeelBatch(const Graph& graph,
+                                               std::span<const VertexId> frontier,
+                                               std::span<char> alive,
+                                               const PeelCallback& cb,
+                                               const ExecutionContext& ctx) const {
+  // Pass-through: batch peels mutate the alive set per call, so there is
+  // nothing to memoize — but the inner oracle may parallelise the bracket.
+  return inner_->PeelBatch(graph, frontier, alive, cb, ctx);
+}
+
 std::vector<InstanceGroup> CachingOracle::Groups(
     const Graph& graph, std::span<const char> alive) const {
   return inner_->Groups(graph, alive);

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
 #include <utility>
+
+#include "util/bucket_queue.h"
 
 
 namespace dsd {
@@ -36,65 +37,109 @@ MotifCoreDecomposition MotifCoreDecompose(const Graph& graph,
 
   std::vector<uint64_t> degree = oracle.Degrees(graph, {}, ctx);
   uint64_t remaining_instances = 0;
-  for (uint64_t d : degree) remaining_instances += d;
+  uint64_t max_degree = 0;
+  for (uint64_t d : degree) {
+    remaining_instances += d;
+    max_degree = std::max(max_degree, d);
+  }
   assert(remaining_instances % oracle.MotifSize() == 0);
   remaining_instances /= oracle.MotifSize();
   result.total_instances = remaining_instances;
 
-  // Lazy min-heap: entries (degree-at-push, vertex); stale entries are
-  // skipped on pop. Degrees can be astronomically large for big motifs, so a
-  // bucket queue (as in Batagelj-Zaversnik) is not applicable generically.
-  using Entry = std::pair<uint64_t, VertexId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
-  for (VertexId v = 0; v < n; ++v) heap.emplace(degree[v], v);
+  // Batch-bracket peeling: a monotone bucket queue (lazy entries, dense
+  // near band sized O(n) so astronomically large motif-degrees spill to its
+  // sparse far map) yields whole lowest-degree brackets, and the oracle
+  // peels each bracket as one batch — PeelBatch is defined to match
+  // one-vertex-at-a-time removal in ascending-id order exactly, so the
+  // decomposition is deterministic and thread-count independent while a
+  // parallel oracle shards large brackets across workers.
+  BucketQueue queue(std::min<uint64_t>(
+      max_degree + 1, std::max<uint64_t>(64, 2 * static_cast<uint64_t>(n))));
+  for (VertexId v = 0; v < n; ++v) queue.Push(v, degree[v]);
 
   std::vector<char> alive(n, 1);
   std::vector<uint64_t> delta(n, 0);
   std::vector<VertexId> touched;
   uint64_t k = 0;
   VertexId remaining_vertices = n;
-  uint32_t pops = 0;
   bool stopped = false;
 
-  while (!heap.empty()) {
-    // Deadline/cancel poll at removal granularity (amortised: each check is
-    // a clock read, so sample every 64 removals). A truncated decomposition
-    // is documented as best-effort only.
-    if ((++pops & 63u) == 0 && ctx.ShouldStop()) {
+  while (remaining_vertices > 0) {
+    // Deadline/cancel poll at bracket granularity; the oracle's PeelBatch
+    // additionally polls inside huge brackets. A truncated decomposition is
+    // documented as best-effort only.
+    if (ctx.ShouldStop()) {
       stopped = true;
       break;
     }
-    auto [d, v] = heap.top();
-    heap.pop();
-    if (!alive[v] || d != degree[v]) continue;  // stale
-
-    result.residual_density.push_back(
-        static_cast<double>(remaining_instances) / remaining_vertices);
-    if (result.residual_density.back() > result.best_residual_density) {
-      result.best_residual_density = result.residual_density.back();
-      result.best_residual_start = result.removal_order.size();
+    uint64_t bracket_degree = 0;
+    std::vector<VertexId> frontier = queue.PopMinBucket(
+        [&](VertexId v, uint64_t d) { return alive[v] != 0 && degree[v] == d; },
+        &bracket_degree);
+    assert(!frontier.empty());
+    if (frontier.empty()) {
+      // Defensive (cannot happen: every alive vertex has a live entry).
+      // Degrade to the documented truncation semantics so removal_order
+      // stays a permutation even if the invariant ever drifts.
+      stopped = true;
+      break;
     }
-
-    k = std::max(k, degree[v]);
-    result.core[v] = k;
-    result.removal_order.push_back(v);
-    alive[v] = 0;
-    --remaining_vertices;
+    // Canonical within-bracket order: ascending vertex id. Everything
+    // downstream (densities, removal_order, survivor deltas) is derived
+    // from this one order, so sequential and parallel batches agree bitwise.
+    std::sort(frontier.begin(), frontier.end());
 
     touched.clear();
-    uint64_t destroyed =
-        oracle.PeelVertex(graph, v, alive, [&](VertexId u, uint64_t count) {
+    std::vector<uint64_t> destroyed = oracle.PeelBatch(
+        graph, frontier, {alive.data(), alive.size()},
+        [&](VertexId u, uint64_t count) {
           if (delta[u] == 0) touched.push_back(u);
           delta[u] += count;
-        });
-    assert(destroyed <= remaining_instances);
-    remaining_instances -= destroyed;
+        },
+        ctx);
+    assert(destroyed.size() <= frontier.size());
+    // The core level rises only once a removal at this bracket actually
+    // happened: a deadline firing inside PeelBatch before any member was
+    // processed must not inflate kmax past the deepest level peeled.
+    if (!destroyed.empty()) k = std::max(k, bracket_degree);
+
+    // Residual densities are recorded per removal (not per bracket): each
+    // entry is the density of the graph right before that single vertex
+    // leaves, exactly as in one-at-a-time peeling.
+    for (size_t i = 0; i < destroyed.size(); ++i) {
+      const VertexId v = frontier[i];
+      assert(!alive[v]);
+      result.residual_density.push_back(
+          static_cast<double>(remaining_instances) / remaining_vertices);
+      if (result.residual_density.back() > result.best_residual_density) {
+        result.best_residual_density = result.residual_density.back();
+        result.best_residual_start = result.removal_order.size();
+      }
+      result.core[v] = k;
+      result.removal_order.push_back(v);
+      --remaining_vertices;
+      assert(destroyed[i] <= remaining_instances);
+      remaining_instances -= destroyed[i];
+    }
+
+    // Apply the batch's degree deltas to survivors and refile them. Deltas
+    // reported for bracket members (dead by now) are dropped — their
+    // removal is already accounted for. Application is pure summation, so
+    // the callback's reporting order never matters.
     for (VertexId u : touched) {
-      assert(alive[u]);
-      assert(delta[u] <= degree[u]);
-      degree[u] -= delta[u];
+      if (alive[u] && delta[u] > 0) {
+        assert(delta[u] <= degree[u]);
+        degree[u] -= delta[u];
+        queue.Push(u, degree[u]);
+      }
       delta[u] = 0;
-      heap.emplace(degree[u], u);
+    }
+
+    if (destroyed.size() < frontier.size()) {
+      // PeelBatch hit the deadline mid-bracket: the unprocessed suffix is
+      // still alive and joins the appended remainder below.
+      stopped = true;
+      break;
     }
   }
   assert(stopped || remaining_instances == 0);

@@ -1,6 +1,10 @@
-// (k, Psi)-core decomposition by peeling (Algorithm 3), generic over the
-// motif oracle, plus the residual-density bookkeeping that powers PeelApp
-// (Algorithm 2), IncApp (Algorithm 5) and CoreExact's Pruning1.
+// (k, Psi)-core decomposition by batch-bracket peeling (Algorithm 3),
+// generic over the motif oracle, plus the residual-density bookkeeping that
+// powers PeelApp (Algorithm 2), IncApp (Algorithm 5) and CoreExact's
+// Pruning1. Whole lowest-degree brackets are peeled per oracle call
+// (MotifOracle::PeelBatch), which parallel oracles shard across workers;
+// the canonical within-bracket order (ascending vertex id) makes every
+// output bit-identical across thread counts and oracle stacks.
 #ifndef DSD_DSD_MOTIF_CORE_H_
 #define DSD_DSD_MOTIF_CORE_H_
 
@@ -37,17 +41,24 @@ struct MotifCoreDecomposition {
   std::vector<VertexId> BestResidualVertices() const;
 };
 
-/// Full decomposition of `graph` w.r.t. the oracle's motif. Runs the peeling
-/// loop with a lazy min-heap; per removal the oracle enumerates the lost
-/// instances among still-alive vertices. The initial degree pass uses `ctx`
-/// (the one parallelizable step — the peeling chain itself is sequential by
-/// data dependence). ctx.ShouldStop() is polled periodically: a stopped run
-/// returns a TRUNCATED decomposition — removal_order is still a permutation
-/// of V (the unpeeled remainder is appended so suffix-based answers remain
-/// genuine residual subgraphs), but residual_density covers only the peeled
-/// prefix and unpeeled vertices keep their last core value — suitable only
-/// for best-effort answers whose caller discards over-deadline results, as
-/// dsd::Solve does.
+/// Full decomposition of `graph` w.r.t. the oracle's motif, by batch-bracket
+/// peeling: a monotone bucket queue (util/bucket_queue.h) indexed by
+/// motif-degree yields the entire lowest-degree bracket at a time — O(1)
+/// amortised per degree update, no stale-heap churn — and each bracket is
+/// removed through one MotifOracle::PeelBatch call in ascending-id order.
+/// PeelBatch is defined to equal one-at-a-time peeling in that order, so
+/// the decomposition (core numbers, removal_order, per-removal residual
+/// densities, best residual suffix) is bit-identical whether the oracle
+/// loops PeelVertex sequentially or shards the bracket across ctx.threads
+/// workers — the batch is how the thread budget finally buys wall-clock on
+/// the peeling path, on top of the parallel initial degree pass.
+/// ctx.ShouldStop() is polled per bracket (and inside large brackets by
+/// PeelBatch): a stopped run returns a TRUNCATED decomposition —
+/// removal_order is still a permutation of V (the unpeeled remainder is
+/// appended so suffix-based answers remain genuine residual subgraphs), but
+/// residual_density covers only the peeled prefix and unpeeled vertices
+/// keep their last core value — suitable only for best-effort answers whose
+/// caller discards over-deadline results, as dsd::Solve does.
 MotifCoreDecomposition MotifCoreDecompose(
     const Graph& graph, const MotifOracle& oracle,
     const ExecutionContext& ctx = ExecutionContext());

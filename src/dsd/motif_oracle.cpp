@@ -14,6 +14,28 @@
 namespace dsd {
 
 // ---------------------------------------------------------------------------
+// MotifOracle
+
+std::vector<uint64_t> MotifOracle::PeelBatch(const Graph& graph,
+                                             std::span<const VertexId> frontier,
+                                             std::span<char> alive,
+                                             const PeelCallback& cb,
+                                             const ExecutionContext& ctx) const {
+  std::vector<uint64_t> destroyed;
+  destroyed.reserve(frontier.size());
+  uint32_t polls = 0;
+  for (VertexId v : frontier) {
+    // Same amortised cadence as the pre-batch engine: a deadline check is a
+    // clock read, so sample every 64 removals. The engine polls once more
+    // per bracket, so small brackets are covered either way.
+    if ((++polls & 63u) == 0 && ctx.ShouldStop()) break;
+    alive[v] = 0;
+    destroyed.push_back(PeelVertex(graph, v, alive, cb));
+  }
+  return destroyed;
+}
+
+// ---------------------------------------------------------------------------
 // CliqueOracle
 
 CliqueOracle::CliqueOracle(int h) : h_(h) { assert(h >= 2); }

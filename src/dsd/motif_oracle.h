@@ -78,6 +78,34 @@ class MotifOracle {
                               std::span<const char> alive,
                               const PeelCallback& cb) const = 0;
 
+  /// Batch peel: removes every vertex of `frontier` from the alive set AS IF
+  /// peeled one at a time in span order, which is what makes a whole
+  /// lowest-degree bracket parallelisable — once the within-batch order is
+  /// fixed, member i's destroyed instances depend only on the frontier
+  /// prefix, not on any other member's enumeration. Contract:
+  ///   - on entry alive[frontier[i]] != 0 for every member; on return the
+  ///     first result.size() members are cleared (the engine does NOT
+  ///     pre-clear, unlike PeelVertex);
+  ///   - returns destroyed[i] = instances lost when frontier[i] is removed
+  ///     given that exactly frontier[0..i) are already gone — identical to
+  ///     looping PeelVertex in order, for every implementation;
+  ///   - result.size() < frontier.size() only when ctx fired mid-batch
+  ///     (deadline/cancel): the unprocessed suffix stays alive, giving the
+  ///     truncated-decomposition semantics of MotifCoreDecompose;
+  ///   - cb receives the summed per-vertex losses; entries for frontier
+  ///     members themselves may or may not be reported (implementations
+  ///     differ), so callers must only consume deltas of vertices still
+  ///     alive after the batch. cb is always invoked from the calling
+  ///     thread and never concurrently.
+  /// The default implementation loops PeelVertex (polling ctx every 64
+  /// removals); parallel oracles shard the frontier across ctx.threads
+  /// workers — bit-identical by the prefix-mask argument above.
+  virtual std::vector<uint64_t> PeelBatch(const Graph& graph,
+                                          std::span<const VertexId> frontier,
+                                          std::span<char> alive,
+                                          const PeelCallback& cb,
+                                          const ExecutionContext& ctx) const;
+
   /// Distinct instances grouped by vertex set (construct+, Algorithm 7).
   /// For cliques every group has multiplicity 1.
   virtual std::vector<InstanceGroup> Groups(

@@ -47,8 +47,9 @@ std::unique_ptr<MotifOracle> BuildPatternOracle(Pattern pattern,
   // per-vertex parallel closed forms); a sequential budget keeps the plain
   // oracle.
   if (options.threads > 1) {
-    return std::make_unique<ParallelPatternOracle>(std::move(pattern),
-                                                   options.use_special_kernels);
+    return std::make_unique<ParallelPatternOracle>(
+        std::move(pattern), options.use_special_kernels,
+        options.pattern_scratch_budget_bytes);
   }
   return std::make_unique<PatternOracle>(std::move(pattern),
                                          options.use_special_kernels);

@@ -48,6 +48,13 @@ struct OracleOptions {
   /// PatternOracle toggle: false forces the generic embedding engine even
   /// for stars and 4-cycles (the bench_ablation baseline).
   bool use_special_kernels = true;
+
+  /// Per-worker scratch budget for pattern kernels that carry O(n) scratch
+  /// per worker (today: the 4-cycle two-path arrays). 0 = unbounded;
+  /// otherwise the worker count is clamped so total scratch stays within
+  /// budget (FourCycleScratchWorkerCap) — results are unaffected, only the
+  /// achievable parallelism. For memory-constrained deployments.
+  size_t pattern_scratch_budget_bytes = 0;
 };
 
 /// Name -> oracle-builder registry. Global() comes pre-populated with the

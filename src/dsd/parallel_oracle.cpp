@@ -3,6 +3,7 @@
 #include "graph/subgraph.h"
 #include "parallel/parallel_clique.h"
 #include "parallel/parallel_pattern.h"
+#include "parallel/parallel_peel.h"
 
 namespace dsd {
 
@@ -39,6 +40,17 @@ uint64_t ParallelCliqueOracle::CountInstancesImpl(
   return ParallelCliqueCount(sub.graph, h(), ctx.threads);
 }
 
+std::vector<uint64_t> ParallelCliqueOracle::PeelBatch(
+    const Graph& graph, std::span<const VertexId> frontier,
+    std::span<char> alive, const PeelCallback& cb,
+    const ExecutionContext& ctx) const {
+  if (ctx.threads <= 1 ||
+      !WorthParallelPeel(frontier.size(), graph.NumVertices())) {
+    return CliqueOracle::PeelBatch(graph, frontier, alive, cb, ctx);
+  }
+  return ParallelCliquePeelBatch(graph, h(), frontier, alive, cb, ctx);
+}
+
 std::vector<uint64_t> ParallelPatternOracle::DegreesImpl(
     const Graph& graph, std::span<const char> alive,
     const ExecutionContext& ctx) const {
@@ -47,7 +59,8 @@ std::vector<uint64_t> ParallelPatternOracle::DegreesImpl(
     return ParallelStarDegrees(graph, star_tails(), alive, ctx.threads);
   }
   if (four_cycle_kernel()) {
-    return ParallelFourCycleDegrees(graph, alive, ctx.threads);
+    return ParallelFourCycleDegrees(graph, alive, ctx.threads,
+                                    scratch_budget_bytes_);
   }
   return ParallelPatternDegrees(graph, pattern(), alive, ctx.threads);
 }
@@ -62,9 +75,31 @@ uint64_t ParallelPatternOracle::CountInstancesImpl(
     return ParallelStarCount(graph, star_tails(), alive, ctx.threads);
   }
   if (four_cycle_kernel()) {
-    return ParallelFourCycleCount(graph, alive, ctx.threads);
+    return ParallelFourCycleCount(graph, alive, ctx.threads,
+                                  scratch_budget_bytes_);
   }
   return ParallelPatternCount(graph, pattern(), alive, ctx.threads);
+}
+
+std::vector<uint64_t> ParallelPatternOracle::PeelBatch(
+    const Graph& graph, std::span<const VertexId> frontier,
+    std::span<char> alive, const PeelCallback& cb,
+    const ExecutionContext& ctx) const {
+  if (ctx.threads > 1 &&
+      WorthParallelPeel(frontier.size(), graph.NumVertices())) {
+    if (star_tails() >= 2) {
+      return ParallelStarPeelBatch(graph, star_tails(), frontier, alive, cb,
+                                   ctx);
+    }
+    if (four_cycle_kernel()) {
+      return ParallelFourCyclePeelBatch(graph, frontier, alive, cb, ctx,
+                                        scratch_budget_bytes_);
+    }
+  }
+  // Generic patterns: the embedding-level peel is kept sequential (its
+  // per-vertex hit maps do not reduce through the frontier kernels), as is
+  // any bracket too small to amortise worker spawn.
+  return PatternOracle::PeelBatch(graph, frontier, alive, cb, ctx);
 }
 
 }  // namespace dsd

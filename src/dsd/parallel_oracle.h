@@ -7,10 +7,15 @@
 // CountInstances (the queries the exact and core algorithms issue on every
 // (k, Psi)-core restriction) parallelise embarrassingly for both problem
 // families. These oracles dispatch those two queries to the src/parallel/
-// kernels on ctx.threads workers and inherit everything else (PeelVertex,
-// Groups, core bounds) from their sequential bases unchanged. Results are
-// bit-identical to the sequential oracles for every thread count: the only
-// cross-worker combination in the kernels is uint64 addition.
+// kernels on ctx.threads workers, and PeelBatch — the whole-bracket removal
+// the batch peeling engine in dsd/motif_core.cpp issues — to the frontier
+// kernels of parallel/parallel_peel.h (cliques, stars, 4-cycles; other
+// patterns keep the sequential default loop). Everything else (PeelVertex,
+// Groups, core bounds) is inherited from the sequential bases unchanged.
+// Results are bit-identical to the sequential oracles for every thread
+// count: the only cross-worker combination in the kernels is uint64
+// addition, and the peel kernels evaluate each bracket member under the
+// same rank-prefix mask the sequential loop would.
 #ifndef DSD_DSD_PARALLEL_ORACLE_H_
 #define DSD_DSD_PARALLEL_ORACLE_H_
 
@@ -36,6 +41,15 @@ class ParallelCliqueOracle : public CliqueOracle {
     return std::numeric_limits<unsigned>::max();
   }
 
+  /// Brackets worth the kernels' O(n) setup (WorthParallelPeel: absolute
+  /// floor + graph-relative ratio) go to the parallel clique frontier
+  /// kernel; smaller ones (or a sequential context) keep the default
+  /// PeelVertex loop. Either path returns the same bits.
+  std::vector<uint64_t> PeelBatch(const Graph& graph,
+                                  std::span<const VertexId> frontier,
+                                  std::span<char> alive, const PeelCallback& cb,
+                                  const ExecutionContext& ctx) const override;
+
  protected:
   std::vector<uint64_t> DegreesImpl(const Graph& graph,
                                     std::span<const char> alive,
@@ -45,16 +59,23 @@ class ParallelCliqueOracle : public CliqueOracle {
 };
 
 /// PatternOracle whose hot queries run on ctx.threads workers: the root
-/// loop of the generic embedding enumerator is sharded per worker, and the
-/// appendix-D closed forms (stars, 4-cycle) become per-vertex parallel
-/// passes — the same kernel branch the sequential oracle would take, so
-/// results match it bit-for-bit under every thread count. A sequential
-/// context falls straight through to PatternOracle.
+/// loop of the generic embedding enumerator is sharded per worker (hub
+/// roots split into candidate-loop slices), and the appendix-D closed
+/// forms (stars, 4-cycle) become per-vertex parallel passes — the same
+/// kernel branch the sequential oracle would take, so results match it
+/// bit-for-bit under every thread count. A sequential context falls
+/// straight through to PatternOracle.
 class ParallelPatternOracle : public PatternOracle {
  public:
+  /// `scratch_budget_bytes` caps the per-worker scratch of the 4-cycle
+  /// kernels (0 = unbounded): their O(n) two-path arrays are inherent to
+  /// the appendix-D formula, so memory-constrained deployments bound the
+  /// worker count instead (FourCycleScratchWorkerCap).
   explicit ParallelPatternOracle(Pattern pattern,
-                                 bool use_special_kernels = true)
-      : PatternOracle(std::move(pattern), use_special_kernels) {}
+                                 bool use_special_kernels = true,
+                                 uint64_t scratch_budget_bytes = 0)
+      : PatternOracle(std::move(pattern), use_special_kernels),
+        scratch_budget_bytes_(scratch_budget_bytes) {}
 
   /// Same contract as ParallelCliqueOracle: the kernels clamp per call by
   /// hardware concurrency and the root-vertex count.
@@ -62,12 +83,23 @@ class ParallelPatternOracle : public PatternOracle {
     return std::numeric_limits<unsigned>::max();
   }
 
+  /// Stars and 4-cycles take the parallel closed-form frontier kernels for
+  /// large brackets; other patterns (and small brackets) keep the default
+  /// PeelVertex loop. Either path returns the same bits.
+  std::vector<uint64_t> PeelBatch(const Graph& graph,
+                                  std::span<const VertexId> frontier,
+                                  std::span<char> alive, const PeelCallback& cb,
+                                  const ExecutionContext& ctx) const override;
+
  protected:
   std::vector<uint64_t> DegreesImpl(const Graph& graph,
                                     std::span<const char> alive,
                                     const ExecutionContext& ctx) const override;
   uint64_t CountInstancesImpl(const Graph& graph, std::span<const char> alive,
                               const ExecutionContext& ctx) const override;
+
+ private:
+  uint64_t scratch_budget_bytes_;
 };
 
 }  // namespace dsd

@@ -56,18 +56,21 @@ class ChunkedAccumulator {
   ChunkedAccumulator(const ChunkedAccumulator&) = delete;
   ChunkedAccumulator& operator=(const ChunkedAccumulator&) = delete;
 
-  /// Adds 1 to `index`, called by `worker` (its ParallelForStrided index).
-  /// Single-worker runs write straight through; parallel runs stage the
-  /// increment and flush the chunk under its lock when the buffer fills.
-  void Add(unsigned worker, uint64_t index) {
+  /// Adds `count` (default 1) to `index`, called by `worker` (its
+  /// ParallelForStrided index). Single-worker runs write straight through;
+  /// parallel runs stage the increment and flush the chunk under its lock
+  /// when the buffer fills. Weighted adds exist for the closed-form peel
+  /// kernels, whose per-vertex deltas are binomial counts — staging those
+  /// as repeated unit entries would be unbounded.
+  void Add(unsigned worker, uint64_t index, uint64_t count = 1) {
     if (workers_ == 1) {
-      ++totals_[index];
+      totals_[index] += count;
       return;
     }
     const uint64_t chunk = index >> chunk_shift_;
-    std::vector<uint64_t>& buffer =
+    std::vector<Entry>& buffer =
         staging_[static_cast<size_t>(worker) * num_chunks_ + chunk];
-    buffer.push_back(index);
+    buffer.push_back({index, count});
     if (buffer.size() >= kFlushThreshold) FlushBuffer(chunk, buffer);
   }
 
@@ -75,14 +78,19 @@ class ChunkedAccumulator {
   /// workers have joined (single-threaded), which is why no locks are
   /// needed for the leftover partial buffers.
   std::vector<uint64_t> Finish() && {
-    for (std::vector<uint64_t>& buffer : staging_) {
-      for (uint64_t index : buffer) ++totals_[index];
+    for (std::vector<Entry>& buffer : staging_) {
+      for (const Entry& entry : buffer) totals_[entry.index] += entry.count;
       buffer.clear();
     }
     return std::move(totals_);
   }
 
  private:
+  struct Entry {
+    uint64_t index;
+    uint64_t count;
+  };
+
   static constexpr size_t kFlushThreshold = 1024;
 
   /// Power-of-two chunk width (as a shift) giving roughly one chunk per
@@ -95,9 +103,9 @@ class ChunkedAccumulator {
     return shift;
   }
 
-  void FlushBuffer(uint64_t chunk, std::vector<uint64_t>& buffer) {
+  void FlushBuffer(uint64_t chunk, std::vector<Entry>& buffer) {
     std::lock_guard<std::mutex> lock(locks_[chunk].mutex);
-    for (uint64_t index : buffer) ++totals_[index];
+    for (const Entry& entry : buffer) totals_[entry.index] += entry.count;
     buffer.clear();
   }
 
@@ -111,8 +119,9 @@ class ChunkedAccumulator {
   unsigned chunk_shift_;
   uint64_t num_chunks_;
   std::vector<ChunkLock> locks_;
-  // staging_[worker * num_chunks_ + chunk]: indices awaiting their +1.
-  std::vector<std::vector<uint64_t>> staging_;
+  // staging_[worker * num_chunks_ + chunk]: (index, count) pairs awaiting
+  // their addition.
+  std::vector<std::vector<Entry>> staging_;
 };
 
 }  // namespace dsd

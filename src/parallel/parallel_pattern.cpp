@@ -31,6 +31,40 @@ uint64_t AliveDegree(const Graph& graph, std::span<const char> alive,
   return d;
 }
 
+// One unit of generic-enumerator work: a root, or one candidate-loop slice
+// of a hub root (EnumerateFromRoot's slice parameters).
+struct RootSlice {
+  VertexId root;
+  uint32_t slice;
+  uint32_t num_slices;
+};
+
+// Static per-root shards leave a hub root pinning one worker while the
+// others drain; splitting the hub's first-extension candidate loop into
+// strided slices evens the load without touching the reduction (slices
+// partition the root's embeddings exactly). The threshold is relative to
+// the average degree with an absolute floor, so regular graphs stay on the
+// cheap one-item-per-root path.
+std::vector<RootSlice> BuildRootSlices(const Graph& graph, unsigned t) {
+  const VertexId n = graph.NumVertices();
+  const uint64_t average =
+      n > 0 ? 2 * static_cast<uint64_t>(graph.NumEdges()) / n : 0;
+  const uint64_t threshold =
+      std::max<uint64_t>(32, 4 * std::max<uint64_t>(average, 1));
+  std::vector<RootSlice> items;
+  items.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const uint64_t degree = graph.Degree(v);
+    uint32_t slices = 1;
+    if (t > 1 && degree >= threshold) {
+      slices = static_cast<uint32_t>(
+          std::min<uint64_t>(t, (degree + threshold - 1) / threshold));
+    }
+    for (uint32_t s = 0; s < slices; ++s) items.push_back({v, s, slices});
+  }
+  return items;
+}
+
 }  // namespace
 
 std::vector<uint64_t> ParallelPatternDegrees(const Graph& graph,
@@ -46,15 +80,17 @@ std::vector<uint64_t> ParallelPatternDegrees(const Graph& graph,
   std::vector<EmbeddingEnumerator::Scratch> scratch;
   scratch.reserve(t);
   for (unsigned w = 0; w < t; ++w) scratch.push_back(enumerator.MakeScratch());
+  const std::vector<RootSlice> items = BuildRootSlices(graph, t);
   ChunkedAccumulator hits(n, t);
-  ParallelForStrided(n, t, [&](unsigned worker, uint64_t root) {
-    enumerator.EnumerateFromRoot(static_cast<VertexId>(root), alive,
-                                 scratch[worker],
+  ParallelForStrided(items.size(), t, [&](unsigned worker, uint64_t i) {
+    const RootSlice& item = items[i];
+    enumerator.EnumerateFromRoot(item.root, alive, scratch[worker],
                                  [&](std::span<const VertexId> image) {
                                    for (VertexId u : image) {
                                      hits.Add(worker, u);
                                    }
-                                 });
+                                 },
+                                 item.slice, item.num_slices);
   });
   std::vector<uint64_t> degrees = std::move(hits).Finish();
   for (uint64_t& d : degrees) {
@@ -74,11 +110,14 @@ uint64_t ParallelPatternCount(const Graph& graph, const Pattern& pattern,
   std::vector<EmbeddingEnumerator::Scratch> scratch;
   scratch.reserve(t);
   for (unsigned w = 0; w < t; ++w) scratch.push_back(enumerator.MakeScratch());
+  const std::vector<RootSlice> items = BuildRootSlices(graph, t);
   std::vector<PaddedCounter> partial(t);
-  ParallelForStrided(n, t, [&](unsigned worker, uint64_t root) {
+  ParallelForStrided(items.size(), t, [&](unsigned worker, uint64_t i) {
+    const RootSlice& item = items[i];
     enumerator.EnumerateFromRoot(
-        static_cast<VertexId>(root), alive, scratch[worker],
-        [&](std::span<const VertexId>) { ++partial[worker].value; });
+        item.root, alive, scratch[worker],
+        [&](std::span<const VertexId>) { ++partial[worker].value; },
+        item.slice, item.num_slices);
   });
   uint64_t embeddings = 0;
   for (const PaddedCounter& p : partial) embeddings += p.value;
@@ -133,9 +172,12 @@ uint64_t ParallelStarCount(const Graph& graph, int x,
 
 std::vector<uint64_t> ParallelFourCycleDegrees(const Graph& graph,
                                                std::span<const char> alive,
-                                               unsigned threads) {
+                                               unsigned threads,
+                                               uint64_t scratch_budget_bytes) {
   const VertexId n = graph.NumVertices();
-  const unsigned t = ResolveThreadCount(threads, n);
+  const unsigned t =
+      std::min(ResolveThreadCount(threads, n),
+               FourCycleScratchWorkerCap(n, scratch_budget_bytes));
   std::vector<uint64_t> degrees(n, 0);
   // Per-worker two-path scratch (counts per 2-hop endpoint), as in the
   // sequential kernel; each worker writes only degrees[v] of its own roots.
@@ -167,10 +209,11 @@ std::vector<uint64_t> ParallelFourCycleDegrees(const Graph& graph,
 }
 
 uint64_t ParallelFourCycleCount(const Graph& graph,
-                                std::span<const char> alive,
-                                unsigned threads) {
+                                std::span<const char> alive, unsigned threads,
+                                uint64_t scratch_budget_bytes) {
   uint64_t total = 0;
-  for (uint64_t d : ParallelFourCycleDegrees(graph, alive, threads)) {
+  for (uint64_t d : ParallelFourCycleDegrees(graph, alive, threads,
+                                             scratch_budget_bytes)) {
     total += d;
   }
   assert(total % 4 == 0);

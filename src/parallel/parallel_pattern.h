@@ -14,10 +14,20 @@
 // Thread counts are clamped by the root-vertex count (ResolveThreadCount's
 // 2-arg overload) so tiny graphs neither spawn idle workers nor allocate
 // per-worker scratch they cannot use.
+//
+// Load balancing: the generic kernels no longer shard per root alone. A hub
+// root whose embedding subtree dwarfs everyone else's would pin one worker
+// while the rest idle, so roots whose degree exceeds a skew threshold are
+// split into several work items, each covering a stride of the root's
+// first-extension candidate loop (EnumerateFromRoot's slice parameters).
+// Slices partition the root's embeddings exactly, so the reduction — and
+// the bit-identical contract — are unchanged.
 #ifndef DSD_PARALLEL_PARALLEL_PATTERN_H_
 #define DSD_PARALLEL_PARALLEL_PATTERN_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -38,6 +48,21 @@ std::vector<uint64_t> ParallelPatternDegrees(const Graph& graph,
 uint64_t ParallelPatternCount(const Graph& graph, const Pattern& pattern,
                               std::span<const char> alive, unsigned threads);
 
+/// Worker-count cap implied by a per-worker scratch budget for the 4-cycle
+/// kernels, whose O(n) two-path scratch (a uint64 counter plus a touched-
+/// endpoint slot per vertex) is inherent to the appendix-D formula.
+/// budget_bytes = 0 means unbounded; otherwise at least one worker is
+/// always allowed (the sequential kernel needs the same scratch anyway).
+inline unsigned FourCycleScratchWorkerCap(uint64_t n, uint64_t budget_bytes) {
+  if (budget_bytes == 0 || n == 0) {
+    return std::numeric_limits<unsigned>::max();
+  }
+  const uint64_t per_worker = n * (sizeof(uint64_t) + sizeof(VertexId));
+  return static_cast<unsigned>(std::clamp<uint64_t>(
+      budget_bytes / per_worker, 1,
+      std::numeric_limits<unsigned>::max()));
+}
+
 /// Parallel StarDegrees (appendix D.1 closed form), x >= 2.
 std::vector<uint64_t> ParallelStarDegrees(const Graph& graph, int x,
                                           std::span<const char> alive,
@@ -48,15 +73,20 @@ uint64_t ParallelStarCount(const Graph& graph, int x,
                            std::span<const char> alive, unsigned threads);
 
 /// Parallel FourCycleDegrees (appendix D.2 two-path grouping). Each worker
-/// carries its own O(n) path-count scratch — inherent to the formula, and
-/// bounded by the clamped worker count.
+/// carries its own O(n) path-count scratch — inherent to the formula, so
+/// the worker count is clamped by `scratch_budget_bytes` (see
+/// FourCycleScratchWorkerCap; 0 = unbounded) on top of the usual hardware
+/// and vertex-count clamps. Results are independent of the clamp.
 std::vector<uint64_t> ParallelFourCycleDegrees(const Graph& graph,
                                                std::span<const char> alive,
-                                               unsigned threads);
+                                               unsigned threads,
+                                               uint64_t scratch_budget_bytes =
+                                                   0);
 
-/// Parallel FourCycleCount (= sum of degrees / 4).
+/// Parallel FourCycleCount (= sum of degrees / 4). Same scratch clamp.
 uint64_t ParallelFourCycleCount(const Graph& graph,
-                                std::span<const char> alive, unsigned threads);
+                                std::span<const char> alive, unsigned threads,
+                                uint64_t scratch_budget_bytes = 0);
 
 }  // namespace dsd
 

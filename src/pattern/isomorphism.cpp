@@ -44,7 +44,9 @@ void EmbeddingEnumerator::Backtrack(const std::vector<int>& order,
                                     uint32_t used_pattern_mask,
                                     std::span<const char> alive,
                                     std::vector<char>& used_graph,
-                                    const EmbeddingCallback& cb) const {
+                                    const EmbeddingCallback& cb,
+                                    unsigned slice,
+                                    unsigned num_slices) const {
   if (depth == order.size()) {
     cb(image);
     return;
@@ -61,7 +63,15 @@ void EmbeddingEnumerator::Backtrack(const std::vector<int>& order,
       anchor = q;
     }
   }
+  // Hub slicing applies to the root's own candidate loop only (depth 1,
+  // where the anchor is necessarily the root): the stride is over adjacency
+  // positions, before any filtering, so the slices partition the loop
+  // regardless of alive mask or used marks.
+  const bool sliced = depth == 1 && num_slices > 1;
+  size_t position = 0;
   for (VertexId u : graph_.Neighbors(image[anchor])) {
+    const size_t index = position++;
+    if (sliced && index % num_slices != slice) continue;
     if (used_graph[u]) continue;
     if (!alive.empty() && !alive[u]) continue;
     bool consistent = true;
@@ -75,7 +85,7 @@ void EmbeddingEnumerator::Backtrack(const std::vector<int>& order,
     image[p] = u;
     used_graph[u] = 1;
     Backtrack(order, depth + 1, image, used_pattern_mask | (1u << p), alive,
-              used_graph, cb);
+              used_graph, cb, slice, num_slices);
     used_graph[u] = 0;
   }
 }
@@ -88,13 +98,18 @@ EmbeddingEnumerator::Scratch EmbeddingEnumerator::MakeScratch() const {
 void EmbeddingEnumerator::EnumerateFromRoot(VertexId root,
                                             std::span<const char> alive,
                                             Scratch& scratch,
-                                            const EmbeddingCallback& cb) const {
+                                            const EmbeddingCallback& cb,
+                                            unsigned slice,
+                                            unsigned num_slices) const {
   if (!alive.empty() && !alive[root]) return;
+  // A single-vertex pattern has no candidate loop to stride: the root alone
+  // is the embedding, owned by slice 0.
+  if (num_slices > 1 && default_order_.size() == 1 && slice != 0) return;
   const int p0 = default_order_[0];
   scratch.image[p0] = root;
   scratch.used_graph[root] = 1;
   Backtrack(default_order_, 1, scratch.image, 1u << p0, alive,
-            scratch.used_graph, cb);
+            scratch.used_graph, cb, slice, num_slices);
   scratch.used_graph[root] = 0;
 }
 
@@ -114,7 +129,7 @@ void EmbeddingEnumerator::EnumerateContaining(
     std::vector<int> order = SearchOrderFrom(p);
     image[p] = v;
     used_graph[v] = 1;
-    Backtrack(order, 1, image, 1u << p, alive, used_graph, cb);
+    Backtrack(order, 1, image, 1u << p, alive, used_graph, cb, 0, 1);
     used_graph[v] = 0;
   }
 }

@@ -63,8 +63,16 @@ class EmbeddingEnumerator {
   /// lets the parallel kernels shard this loop per root. `scratch` must
   /// come from MakeScratch() and not be shared between concurrent calls;
   /// its used_graph is all-clear again on return.
+  ///
+  /// (slice, num_slices) sub-partitions one root's embeddings for hub
+  /// load-balancing: slice s covers the candidates at positions s, s+S,
+  /// s+2S, ... of the root's first-extension candidate loop (a purely
+  /// positional stride over the adjacency list, so the slices partition
+  /// the root's embeddings exactly and their union over s = 0..S-1 equals
+  /// the unsliced call). The default (0, 1) is the whole root.
   void EnumerateFromRoot(VertexId root, std::span<const char> alive,
-                         Scratch& scratch, const EmbeddingCallback& cb) const;
+                         Scratch& scratch, const EmbeddingCallback& cb,
+                         unsigned slice = 0, unsigned num_slices = 1) const;
 
   /// Invokes cb for every embedding whose image contains `v` (each embedding
   /// exactly once), restricted to alive vertices; v itself need not be alive.
@@ -88,10 +96,13 @@ class EmbeddingEnumerator {
   // vertex is adjacent to at least one earlier vertex.
   std::vector<int> SearchOrderFrom(int start) const;
 
+  // (slice, num_slices) stride the candidate loop at depth 1 only — the
+  // hub-splitting hook behind EnumerateFromRoot's slice parameters.
   void Backtrack(const std::vector<int>& order, size_t depth,
                  std::vector<VertexId>& image, uint32_t used_pattern_mask,
                  std::span<const char> alive, std::vector<char>& used_graph,
-                 const EmbeddingCallback& cb) const;
+                 const EmbeddingCallback& cb, unsigned slice,
+                 unsigned num_slices) const;
 
   const Graph& graph_;
   Pattern pattern_;

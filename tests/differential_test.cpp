@@ -12,12 +12,14 @@
 // replay.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <random>
 #include <string>
 #include <vector>
 
+#include "dsd/motif_core.h"
 #include "dsd/oracle_factory.h"
 #include "dsd/solver.h"
 #include "graph/generators.h"
@@ -111,6 +113,84 @@ TEST(DifferentialOracleTest, AllStacksMatchSequentialBaseline) {
   }
 }
 
+TEST(DifferentialDecomposeTest, AllStacksMatchSequentialDecomposition) {
+  // The batch-bracket peeling engine's strongest claim: the FULL
+  // decomposition — core numbers, the removal order itself, every
+  // per-removal residual density, and the best residual suffix — is
+  // bit-identical for every oracle stack (sequential, parallel at any
+  // thread count, cached or not). The parallel stacks route brackets
+  // through the frontier peel kernels, so this locks PeelBatch's
+  // rank-mask semantics to the sequential PeelVertex loop.
+  for (const SeededGraph& sg : TestGraphs()) {
+    SCOPED_TRACE(sg.name + " seed=" + std::to_string(sg.seed));
+    for (const char* motif : kMotifs) {
+      SCOPED_TRACE(std::string("motif=") + motif);
+      std::unique_ptr<MotifOracle> baseline_oracle =
+          MustMakeOracle(motif, 1, false);
+      const MotifCoreDecomposition baseline =
+          MotifCoreDecompose(sg.graph, *baseline_oracle);
+      for (unsigned threads : kThreadCounts) {
+        for (bool cache : {false, true}) {
+          SCOPED_TRACE("threads=" + std::to_string(threads) +
+                       " cache=" + std::to_string(cache));
+          std::unique_ptr<MotifOracle> oracle =
+              MustMakeOracle(motif, threads, cache);
+          ExecutionContext ctx;
+          ctx.threads = threads == 0 ? 8 : threads;
+          const MotifCoreDecomposition d =
+              MotifCoreDecompose(sg.graph, *oracle, ctx);
+          EXPECT_EQ(d.core, baseline.core);
+          EXPECT_EQ(d.kmax, baseline.kmax);
+          EXPECT_EQ(d.total_instances, baseline.total_instances);
+          EXPECT_EQ(d.removal_order, baseline.removal_order);
+          EXPECT_EQ(d.residual_density, baseline.residual_density);
+          EXPECT_EQ(d.best_residual_start, baseline.best_residual_start);
+          // Bitwise: both sides run the same integer->double divisions in
+          // the same order.
+          EXPECT_EQ(d.best_residual_density, baseline.best_residual_density);
+          EXPECT_EQ(d.BestResidualVertices(), baseline.BestResidualVertices());
+        }
+      }
+    }
+  }
+}
+
+TEST(DifferentialDecomposeTest, DeadlineTruncationKeepsInvariants) {
+  // An already-expired deadline (and one that fires mid-run) may truncate
+  // the decomposition anywhere, so exact equality is not the contract —
+  // the permutation and suffix invariants are: removal_order is a
+  // permutation of V, densities cover only the peeled prefix, and core
+  // numbers never exceed the untruncated ones.
+  const Graph graph = gen::ErdosRenyi(60, 0.15, 0x7EE7);
+  for (const char* motif : {"triangle", "2-star"}) {
+    SCOPED_TRACE(std::string("motif=") + motif);
+    std::unique_ptr<MotifOracle> baseline_oracle =
+        MustMakeOracle(motif, 1, false);
+    const MotifCoreDecomposition full =
+        MotifCoreDecompose(graph, *baseline_oracle);
+    for (unsigned threads : {1u, 4u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      std::unique_ptr<MotifOracle> oracle =
+          MustMakeOracle(motif, threads, false);
+      ExecutionContext ctx;
+      ctx.threads = threads;
+      ctx = ctx.WithDeadlineAfter(-1.0);  // already expired
+      const MotifCoreDecomposition d = MotifCoreDecompose(graph, *oracle, ctx);
+      ASSERT_EQ(d.removal_order.size(), graph.NumVertices());
+      std::vector<VertexId> sorted = d.removal_order;
+      std::sort(sorted.begin(), sorted.end());
+      for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+        ASSERT_EQ(sorted[v], v);  // a permutation of V
+      }
+      EXPECT_LE(d.residual_density.size(), d.removal_order.size());
+      for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+        EXPECT_LE(d.core[v], full.core[v]) << "v=" << v;
+      }
+      EXPECT_LE(d.kmax, full.kmax);
+    }
+  }
+}
+
 TEST(DifferentialSolveTest, ThreadedAndCachedSolvesMatchSequential) {
   // End to end through dsd::Solve (which always builds a cached stack):
   // the answer must not depend on the thread budget for any algorithm x
@@ -119,10 +199,15 @@ TEST(DifferentialSolveTest, ThreadedAndCachedSolvesMatchSequential) {
     SCOPED_TRACE(sg.name + " seed=" + std::to_string(sg.seed));
     for (const char* motif : {"triangle", "4-clique", "3-star", "diamond",
                               "c3-star"}) {
-      for (const char* algo : {"exact", "core-exact", "peel"}) {
+      // peel, core-app and at-least drive the batch peeling engine end to
+      // end; exact and core-exact cover the degree-pass and core-
+      // restriction paths.
+      for (const char* algo :
+           {"exact", "core-exact", "peel", "core-app", "at-least"}) {
         SolveRequest request;
         request.algorithm = algo;
         request.motif = motif;
+        request.min_size = 10;  // used by at-least only
         request.threads = 1;
         StatusOr<SolveResponse> sequential = Solve(sg.graph, request);
         ASSERT_TRUE(sequential.ok())

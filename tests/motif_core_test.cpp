@@ -1,8 +1,10 @@
 // Tests for dsd/motif_core: Algorithm 3's decomposition, core invariants
-// (Definition 6, Theorem 1), residual tracking, and RestrictToCore.
+// (Definition 6, Theorem 1), residual tracking, truncation semantics, and
+// RestrictToCore.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 
 #include "clique/clique_degree.h"
 #include "core/kcore.h"
@@ -164,6 +166,98 @@ TEST(MotifCore, GammaBoundsCoreNumber) {
       }
     }
   }
+}
+
+// CliqueOracle that raises a cancel flag after a fixed number of PeelVertex
+// calls — a deterministic way to stop a PeelBatch MID-bracket (the default
+// loop polls the context every 64 removals), exercising the partial-prefix
+// truncation path that wall-clock deadlines can't hit reproducibly.
+class CancelAfterPeelsOracle : public CliqueOracle {
+ public:
+  CancelAfterPeelsOracle(int h, int peel_budget, std::atomic<bool>* cancel)
+      : CliqueOracle(h), peels_left_(peel_budget), cancel_(cancel) {}
+
+  uint64_t PeelVertex(const Graph& graph, VertexId v,
+                      std::span<const char> alive,
+                      const PeelCallback& cb) const override {
+    if (--peels_left_ <= 0) cancel_->store(true);
+    return CliqueOracle::PeelVertex(graph, v, alive, cb);
+  }
+
+ private:
+  mutable std::atomic<int> peels_left_;
+  std::atomic<bool>* cancel_;
+};
+
+TEST(MotifCore, MidBracketCancelTruncatesToPrefix) {
+  // 100 disjoint triangles: every vertex has triangle-degree 1, so the
+  // whole graph is ONE 300-member bracket. The cancel flag rises at the
+  // 10th removal; the sequential batch loop notices at its 64-removal poll,
+  // so exactly 63 members of the bracket are peeled.
+  GraphBuilder b;
+  const int kTriangles = 100;
+  for (VertexId i = 0; i < kTriangles; ++i) {
+    b.AddEdge(3 * i, 3 * i + 1);
+    b.AddEdge(3 * i + 1, 3 * i + 2);
+    b.AddEdge(3 * i, 3 * i + 2);
+  }
+  Graph g = b.Build();
+  const MotifCoreDecomposition full = MotifCoreDecompose(g, CliqueOracle(3));
+
+  std::atomic<bool> cancel{false};
+  CancelAfterPeelsOracle oracle(3, 10, &cancel);
+  ExecutionContext ctx = ExecutionContext().WithCancelFlag(&cancel);
+  const MotifCoreDecomposition d = MotifCoreDecompose(g, oracle, ctx);
+
+  const size_t peeled = d.residual_density.size();
+  EXPECT_EQ(peeled, 63u);
+  ASSERT_LT(peeled, g.NumVertices());
+  // The peeled prefix matches the untruncated run removal for removal
+  // (densities bitwise, same order), and the unpeeled remainder is
+  // appended so removal_order stays a permutation of V.
+  ASSERT_EQ(d.removal_order.size(), g.NumVertices());
+  for (size_t i = 0; i < peeled; ++i) {
+    EXPECT_EQ(d.removal_order[i], full.removal_order[i]) << i;
+    EXPECT_EQ(d.residual_density[i], full.residual_density[i]) << i;
+  }
+  std::vector<VertexId> sorted = d.removal_order;
+  std::sort(sorted.begin(), sorted.end());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) ASSERT_EQ(sorted[v], v);
+  // A removal at level 1 did happen before the stop, so kmax is honest;
+  // unpeeled vertices keep their last (never-assigned) core value.
+  EXPECT_EQ(d.kmax, 1u);
+  for (size_t i = peeled; i < d.removal_order.size(); ++i) {
+    EXPECT_EQ(d.core[d.removal_order[i]], 0u);
+  }
+}
+
+// Oracle whose PeelBatch gives up before processing a single member — the
+// contract's zero-progress case (a deadline can fire inside PeelBatch
+// before its first chunk). The engine must treat it as a truncation and,
+// critically, must NOT raise kmax to the popped bracket's level: no vertex
+// was actually peeled there.
+class ZeroProgressOracle : public CliqueOracle {
+ public:
+  explicit ZeroProgressOracle(int h) : CliqueOracle(h) {}
+
+  std::vector<uint64_t> PeelBatch(const Graph&, std::span<const VertexId>,
+                                  std::span<char>, const PeelCallback&,
+                                  const ExecutionContext&) const override {
+    return {};
+  }
+};
+
+TEST(MotifCore, ZeroProgressBatchKeepsKmaxHonest) {
+  Graph g = gen::ErdosRenyi(50, 0.3, 5);
+  const MotifCoreDecomposition d = MotifCoreDecompose(g, ZeroProgressOracle(3));
+  EXPECT_EQ(d.kmax, 0u);
+  EXPECT_TRUE(d.residual_density.empty());
+  // Truncated semantics still hold: removal_order is a permutation of V.
+  ASSERT_EQ(d.removal_order.size(), g.NumVertices());
+  std::vector<VertexId> sorted = d.removal_order;
+  std::sort(sorted.begin(), sorted.end());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) ASSERT_EQ(sorted[v], v);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) EXPECT_EQ(d.core[v], 0u);
 }
 
 TEST(RestrictToCore, DropsUnderSupportedVertices) {

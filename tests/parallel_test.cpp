@@ -1,9 +1,10 @@
-// Tests for parallel/: parallel clique counting, parallel pattern kernels
-// and parallel core decomposition must agree bit-for-bit with their serial
-// counterparts for every thread count.
+// Tests for parallel/: parallel clique counting, parallel pattern kernels,
+// frontier peel kernels and parallel core decomposition must agree
+// bit-for-bit with their serial counterparts for every thread count.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <mutex>
 #include <set>
 
@@ -11,11 +12,14 @@
 #include "core/nucleus.h"
 #include "dsd/motif_core.h"
 #include "dsd/motif_oracle.h"
+#include "dsd/parallel_oracle.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "parallel/parallel_clique.h"
 #include "parallel/parallel_for.h"
 #include "parallel/parallel_nucleus.h"
 #include "parallel/parallel_pattern.h"
+#include "parallel/parallel_peel.h"
 #include "pattern/isomorphism.h"
 #include "pattern/special.h"
 
@@ -159,6 +163,279 @@ TEST(ParallelPatternStress, ManySmallShardsUnderOversubscription) {
     EXPECT_EQ(ParallelCliqueDegrees(g, 3, threads),
               CliqueEnumerator(g, 3).Degrees())
         << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Frontier peel kernels (parallel/parallel_peel.h): each batch must equal
+// looping PeelVertex over the frontier in order — destroyed counts per rank,
+// survivor deltas, and the cleared alive bits.
+
+struct BatchResult {
+  std::vector<uint64_t> destroyed;
+  std::map<VertexId, uint64_t> survivor_deltas;
+  std::vector<char> alive_after;
+};
+
+// Runs `peel` (a PeelBatch-shaped callable) on a copy of `alive` and keeps
+// only the deltas of vertices still alive afterwards — the part of the
+// callback output the engine consumes and the contract guarantees.
+template <typename Peel>
+BatchResult RunBatch(const std::vector<VertexId>& frontier,
+                     const std::vector<char>& alive, Peel&& peel) {
+  BatchResult result;
+  result.alive_after = alive;
+  std::map<VertexId, uint64_t> deltas;
+  result.destroyed =
+      peel(frontier, result.alive_after, [&](VertexId u, uint64_t count) {
+        deltas[u] += count;
+      });
+  for (const auto& [u, count] : deltas) {
+    if (result.alive_after[u]) result.survivor_deltas[u] = count;
+  }
+  return result;
+}
+
+// Every 3rd alive vertex, ascending — an arbitrary but canonical frontier
+// (PeelBatch's contract is order-based, not bracket-based).
+std::vector<VertexId> SampleFrontier(const std::vector<char>& alive) {
+  std::vector<VertexId> frontier;
+  for (VertexId v = 0; v < alive.size(); ++v) {
+    if (alive[v] && v % 3 == 0) frontier.push_back(v);
+  }
+  return frontier;
+}
+
+TEST(WorthParallelPeelTest, FloorAndRatio) {
+  EXPECT_FALSE(WorthParallelPeel(7, 10));  // below the absolute floor
+  EXPECT_TRUE(WorthParallelPeel(8, 100));  // small graph: the floor rules
+  // A tiny bracket of a huge graph must stay sequential — the kernels'
+  // O(n) per-call setup would dwarf the members' peel work.
+  EXPECT_FALSE(WorthParallelPeel(100, 1000000));
+  EXPECT_TRUE(WorthParallelPeel(4096, 1000000));
+}
+
+class ParallelPeelBatchTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelPeelBatchTest, CliqueBatchMatchesSequentialLoop) {
+  const unsigned threads = GetParam();
+  Graph g = gen::PlantedClique(90, 0.08, 8, 5);
+  std::vector<char> alive(g.NumVertices(), 1);
+  for (VertexId v = 1; v < g.NumVertices(); v += 7) alive[v] = 0;
+  const std::vector<VertexId> frontier = SampleFrontier(alive);
+  ASSERT_GE(frontier.size(), kMinParallelPeelFrontier);
+  for (int h : {2, 3, 4}) {
+    CliqueOracle oracle(h);
+    BatchResult sequential = RunBatch(
+        frontier, alive, [&](auto f, auto& mask, const PeelCallback& cb) {
+          return oracle.PeelBatch(g, f, {mask.data(), mask.size()}, cb,
+                                  ExecutionContext());
+        });
+    ExecutionContext ctx;
+    ctx.threads = threads == 0 ? 8 : threads;
+    BatchResult parallel = RunBatch(
+        frontier, alive, [&](auto f, auto& mask, const PeelCallback& cb) {
+          return ParallelCliquePeelBatch(g, h, f, {mask.data(), mask.size()},
+                                         cb, ctx);
+        });
+    EXPECT_EQ(parallel.destroyed, sequential.destroyed) << "h=" << h;
+    EXPECT_EQ(parallel.survivor_deltas, sequential.survivor_deltas)
+        << "h=" << h;
+    EXPECT_EQ(parallel.alive_after, sequential.alive_after) << "h=" << h;
+  }
+}
+
+TEST_P(ParallelPeelBatchTest, StarBatchMatchesSequentialLoop) {
+  const unsigned threads = GetParam();
+  Graph g = gen::BarabasiAlbert(100, 4, 11);
+  std::vector<char> alive(g.NumVertices(), 1);
+  for (VertexId v = 2; v < g.NumVertices(); v += 9) alive[v] = 0;
+  const std::vector<VertexId> frontier = SampleFrontier(alive);
+  ASSERT_GE(frontier.size(), kMinParallelPeelFrontier);
+  for (int x : {2, 3, 4}) {
+    PatternOracle oracle(Pattern::Star(x));
+    BatchResult sequential = RunBatch(
+        frontier, alive, [&](auto f, auto& mask, const PeelCallback& cb) {
+          return oracle.PeelBatch(g, f, {mask.data(), mask.size()}, cb,
+                                  ExecutionContext());
+        });
+    ExecutionContext ctx;
+    ctx.threads = threads == 0 ? 8 : threads;
+    BatchResult parallel = RunBatch(
+        frontier, alive, [&](auto f, auto& mask, const PeelCallback& cb) {
+          return ParallelStarPeelBatch(g, x, f, {mask.data(), mask.size()},
+                                       cb, ctx);
+        });
+    EXPECT_EQ(parallel.destroyed, sequential.destroyed) << "x=" << x;
+    EXPECT_EQ(parallel.survivor_deltas, sequential.survivor_deltas)
+        << "x=" << x;
+    EXPECT_EQ(parallel.alive_after, sequential.alive_after) << "x=" << x;
+  }
+}
+
+TEST_P(ParallelPeelBatchTest, FourCycleBatchMatchesSequentialLoop) {
+  const unsigned threads = GetParam();
+  Graph g = gen::ErdosRenyi(80, 0.12, 23);
+  std::vector<char> alive(g.NumVertices(), 1);
+  const std::vector<VertexId> frontier = SampleFrontier(alive);
+  ASSERT_GE(frontier.size(), kMinParallelPeelFrontier);
+  PatternOracle oracle(Pattern::Cycle(4));
+  BatchResult sequential = RunBatch(
+      frontier, alive, [&](auto f, auto& mask, const PeelCallback& cb) {
+        return oracle.PeelBatch(g, f, {mask.data(), mask.size()}, cb,
+                                ExecutionContext());
+      });
+  ExecutionContext ctx;
+  ctx.threads = threads == 0 ? 8 : threads;
+  for (uint64_t budget : {uint64_t{0}, uint64_t{1} << 12, uint64_t{1} << 30}) {
+    BatchResult parallel = RunBatch(
+        frontier, alive, [&](auto f, auto& mask, const PeelCallback& cb) {
+          return ParallelFourCyclePeelBatch(g, f, {mask.data(), mask.size()},
+                                            cb, ctx, budget);
+        });
+    EXPECT_EQ(parallel.destroyed, sequential.destroyed) << "budget=" << budget;
+    EXPECT_EQ(parallel.survivor_deltas, sequential.survivor_deltas)
+        << "budget=" << budget;
+    EXPECT_EQ(parallel.alive_after, sequential.alive_after)
+        << "budget=" << budget;
+  }
+}
+
+TEST_P(ParallelPeelBatchTest, ExpiredDeadlineTruncatesToPrefix) {
+  const unsigned threads = GetParam();
+  Graph g = gen::ErdosRenyi(60, 0.15, 31);
+  std::vector<char> alive(g.NumVertices(), 1);
+  const std::vector<VertexId> frontier = SampleFrontier(alive);
+  ExecutionContext ctx;
+  ctx.threads = threads == 0 ? 8 : threads;
+  ctx = ctx.WithDeadlineAfter(-1.0);
+  std::vector<char> mask = alive;
+  std::vector<uint64_t> destroyed = ParallelCliquePeelBatch(
+      g, 3, frontier, {mask.data(), mask.size()},
+      [](VertexId, uint64_t) {}, ctx);
+  // An already-expired context processes nothing: no alive bit may change.
+  EXPECT_TRUE(destroyed.empty());
+  EXPECT_EQ(mask, alive);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParallelPeelBatchTest,
+                         ::testing::Values(1u, 2u, 4u, 0u));
+
+TEST(ParallelPeelStress, DecompositionUnderOversubscribedBrackets) {
+  // High-contention case for the TSan job (unit label): a graph whose
+  // lowest-degree brackets are huge — communities of near-identical degree
+  // — peeled with far more workers than cores, so every worker hammers the
+  // chunk-locked delta accumulator and the shared alive mask at once while
+  // the engine applies batches back to back.
+  Graph g = gen::PowerLawWithCommunities(500, 3, 10, 10, 0.85, 0xBEEF);
+  const MotifCoreDecomposition baseline =
+      MotifCoreDecompose(g, CliqueOracle(3));
+  for (unsigned threads : {16u, 32u}) {
+    ParallelCliqueOracle oracle(3);
+    ExecutionContext ctx;
+    ctx.threads = threads;
+    const MotifCoreDecomposition d = MotifCoreDecompose(g, oracle, ctx);
+    EXPECT_EQ(d.core, baseline.core) << threads;
+    EXPECT_EQ(d.removal_order, baseline.removal_order) << threads;
+    EXPECT_EQ(d.residual_density, baseline.residual_density) << threads;
+  }
+  // Star brackets drive the weighted (binomial-count) accumulator adds.
+  const MotifCoreDecomposition star_baseline =
+      MotifCoreDecompose(g, PatternOracle(Pattern::TwoStar()));
+  ParallelPatternOracle star(Pattern::TwoStar());
+  ExecutionContext ctx;
+  ctx.threads = 16;
+  const MotifCoreDecomposition d = MotifCoreDecompose(g, star, ctx);
+  EXPECT_EQ(d.core, star_baseline.core);
+  EXPECT_EQ(d.removal_order, star_baseline.removal_order);
+}
+
+// ---------------------------------------------------------------------------
+// Hub-root splitting: skewed graphs must still match the sequential
+// enumerator exactly, and a root's candidate-loop slices must partition its
+// embeddings.
+
+TEST(ParallelPatternHubSplit, SkewGraphParity) {
+  // One massive hub plus a sparse periphery: without candidate-loop
+  // splitting the hub's whole embedding subtree lands on one worker; with
+  // it the result must still be bit-identical.
+  GraphBuilder b;
+  const VertexId n = 220;
+  for (VertexId v = 1; v < n; ++v) b.AddEdge(0, v);      // hub star
+  for (VertexId v = 1; v + 1 < n; v += 2) b.AddEdge(v, v + 1);  // periphery
+  Graph g = b.Build();
+  std::vector<char> alive(g.NumVertices(), 1);
+  for (VertexId v = 3; v < n; v += 11) alive[v] = 0;
+  for (const Pattern& pattern :
+       {Pattern::TwoStar(), Pattern::C3Star(), Pattern::Cycle(4)}) {
+    EmbeddingEnumerator enumerator(g, pattern);
+    const std::vector<uint64_t> expected = enumerator.Degrees(alive);
+    const uint64_t expected_count = enumerator.CountInstances(alive);
+    for (unsigned threads : {2u, 4u, 16u}) {
+      EXPECT_EQ(ParallelPatternDegrees(g, pattern, alive, threads), expected)
+          << pattern.name() << " t=" << threads;
+      EXPECT_EQ(ParallelPatternCount(g, pattern, alive, threads),
+                expected_count)
+          << pattern.name() << " t=" << threads;
+    }
+  }
+}
+
+TEST(ParallelPatternHubSplit, RootSlicesPartitionEmbeddings) {
+  Graph g = gen::BarabasiAlbert(60, 5, 3);
+  const Pattern pattern = Pattern::C3Star();
+  EmbeddingEnumerator enumerator(g, pattern);
+  // Pick the max-degree vertex as the hub root.
+  VertexId root = 0;
+  for (VertexId v = 1; v < g.NumVertices(); ++v) {
+    if (g.Degree(v) > g.Degree(root)) root = v;
+  }
+  EmbeddingEnumerator::Scratch scratch = enumerator.MakeScratch();
+  uint64_t full = 0;
+  enumerator.EnumerateFromRoot(root, {}, scratch,
+                               [&](std::span<const VertexId>) { ++full; });
+  ASSERT_GT(full, 0u);
+  for (unsigned slices : {2u, 3u, 7u}) {
+    uint64_t sliced_total = 0;
+    for (unsigned s = 0; s < slices; ++s) {
+      enumerator.EnumerateFromRoot(
+          root, {}, scratch, [&](std::span<const VertexId>) { ++sliced_total; },
+          s, slices);
+    }
+    EXPECT_EQ(sliced_total, full) << slices;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Four-cycle scratch budget: the worker-count clamp and its no-op effect on
+// results.
+
+TEST(FourCycleScratchBudget, CapMath) {
+  // 0 = unbounded, and a budget always admits at least one worker.
+  EXPECT_EQ(FourCycleScratchWorkerCap(1000, 0),
+            std::numeric_limits<unsigned>::max());
+  const uint64_t per_worker = 1000 * (sizeof(uint64_t) + sizeof(VertexId));
+  EXPECT_EQ(FourCycleScratchWorkerCap(1000, 4 * per_worker), 4u);
+  EXPECT_EQ(FourCycleScratchWorkerCap(1000, per_worker - 1), 1u);
+  EXPECT_EQ(FourCycleScratchWorkerCap(1000, 1), 1u);
+}
+
+TEST(FourCycleScratchBudget, ClampedKernelMatchesUnclamped) {
+  Graph g = gen::ErdosRenyi(120, 0.1, 77);
+  std::vector<char> alive(g.NumVertices(), 1);
+  for (VertexId v = 0; v < g.NumVertices(); v += 6) alive[v] = 0;
+  const std::vector<uint64_t> expected = FourCycleDegrees(g, alive);
+  const uint64_t per_worker =
+      g.NumVertices() * (sizeof(uint64_t) + sizeof(VertexId));
+  // A budget for exactly 2 workers under an 8-thread request clamps to 2;
+  // a 1-worker budget degrades to the sequential path. Results never move.
+  EXPECT_EQ(FourCycleScratchWorkerCap(g.NumVertices(), 2 * per_worker), 2u);
+  for (uint64_t budget : {uint64_t{0}, 2 * per_worker, per_worker / 2}) {
+    EXPECT_EQ(ParallelFourCycleDegrees(g, alive, 8, budget), expected)
+        << budget;
+    EXPECT_EQ(ParallelFourCycleCount(g, alive, 8, budget),
+              FourCycleCount(g, alive))
+        << budget;
   }
 }
 

@@ -1,9 +1,12 @@
-// Tests for util/: combinatorics, random, timer, status.
+// Tests for util/: combinatorics, random, timer, status, bucket queue.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 #include <set>
+#include <vector>
 
+#include "util/bucket_queue.h"
 #include "util/combinatorics.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -53,6 +56,103 @@ TEST(Binomial, SaturatesOnOverflow) {
   EXPECT_EQ(Binomial(1000, 500), std::numeric_limits<uint64_t>::max());
   EXPECT_TRUE(BinomialOverflows(1000, 500));
   EXPECT_FALSE(BinomialOverflows(60, 30));
+}
+
+// ---------------------------------------------------------------------------
+// BucketQueue: the monotone bucket queue behind the batch peeling engine.
+
+// Accepts every entry as current (no external degree table).
+const auto kAlwaysCurrent = [](VertexId, uint64_t) { return true; };
+
+TEST(BucketQueue, PopsBucketsInDegreeOrder) {
+  BucketQueue queue(/*near_limit=*/16);
+  queue.Push(0, 3);
+  queue.Push(1, 1);
+  queue.Push(2, 3);
+  queue.Push(3, 7);
+  uint64_t degree = 0;
+  std::vector<VertexId> bucket = queue.PopMinBucket(kAlwaysCurrent, &degree);
+  EXPECT_EQ(degree, 1u);
+  EXPECT_EQ(bucket, (std::vector<VertexId>{1}));
+  bucket = queue.PopMinBucket(kAlwaysCurrent, &degree);
+  EXPECT_EQ(degree, 3u);
+  std::sort(bucket.begin(), bucket.end());
+  EXPECT_EQ(bucket, (std::vector<VertexId>{0, 2}));
+  bucket = queue.PopMinBucket(kAlwaysCurrent, &degree);
+  EXPECT_EQ(degree, 7u);
+  EXPECT_EQ(bucket, (std::vector<VertexId>{3}));
+  EXPECT_TRUE(queue.PopMinBucket(kAlwaysCurrent, &degree).empty());
+}
+
+TEST(BucketQueue, StaleEntriesAreFiltered) {
+  // Lazy updates: vertex 5's degree drops 9 -> 2, so two entries exist; the
+  // caller's predicate keeps only the one matching the current degree.
+  std::vector<uint64_t> current_degree(8, 0);
+  current_degree[5] = 2;
+  current_degree[6] = 9;
+  auto is_current = [&](VertexId v, uint64_t d) {
+    return current_degree[v] == d;
+  };
+  BucketQueue queue(/*near_limit=*/4);
+  queue.Push(5, 9);  // goes to the far map (>= near_limit)
+  queue.Push(6, 9);
+  queue.Push(5, 2);  // degree update lands in the near band
+  uint64_t degree = 0;
+  std::vector<VertexId> bucket = queue.PopMinBucket(is_current, &degree);
+  EXPECT_EQ(degree, 2u);
+  EXPECT_EQ(bucket, (std::vector<VertexId>{5}));
+  // The far bucket at 9 still holds {5 (stale), 6}: only 6 survives.
+  bucket = queue.PopMinBucket(is_current, &degree);
+  EXPECT_EQ(degree, 9u);
+  EXPECT_EQ(bucket, (std::vector<VertexId>{6}));
+}
+
+TEST(BucketQueue, CursorMovesBackwardOnLowPush) {
+  BucketQueue queue(/*near_limit=*/64);
+  queue.Push(0, 10);
+  uint64_t degree = 0;
+  EXPECT_EQ(queue.PopMinBucket(kAlwaysCurrent, &degree).size(), 1u);
+  EXPECT_EQ(degree, 10u);
+  // After popping at 10, a later push below 10 must still surface first.
+  queue.Push(1, 12);
+  queue.Push(2, 3);
+  std::vector<VertexId> bucket = queue.PopMinBucket(kAlwaysCurrent, &degree);
+  EXPECT_EQ(degree, 3u);
+  EXPECT_EQ(bucket, (std::vector<VertexId>{2}));
+  bucket = queue.PopMinBucket(kAlwaysCurrent, &degree);
+  EXPECT_EQ(degree, 12u);
+  EXPECT_EQ(bucket, (std::vector<VertexId>{1}));
+}
+
+TEST(BucketQueue, HugeDegreesSpillToFarMap) {
+  // Motif-degrees can exceed any sane array size; the far map handles them
+  // without allocating the degree range.
+  BucketQueue queue(/*near_limit=*/128);
+  const uint64_t huge = uint64_t{1} << 60;
+  queue.Push(0, huge);
+  queue.Push(1, huge - 1);
+  queue.Push(2, 5);
+  uint64_t degree = 0;
+  std::vector<VertexId> bucket = queue.PopMinBucket(kAlwaysCurrent, &degree);
+  EXPECT_EQ(degree, 5u);
+  bucket = queue.PopMinBucket(kAlwaysCurrent, &degree);
+  EXPECT_EQ(degree, huge - 1);
+  EXPECT_EQ(bucket, (std::vector<VertexId>{1}));
+  bucket = queue.PopMinBucket(kAlwaysCurrent, &degree);
+  EXPECT_EQ(degree, huge);
+  EXPECT_EQ(bucket, (std::vector<VertexId>{0}));
+}
+
+TEST(BucketQueue, AllStaleBucketsAreSkipped) {
+  BucketQueue queue(/*near_limit=*/8);
+  queue.Push(0, 1);
+  queue.Push(1, 2);
+  auto only_vertex_1 = [](VertexId v, uint64_t) { return v == 1; };
+  uint64_t degree = 0;
+  std::vector<VertexId> bucket = queue.PopMinBucket(only_vertex_1, &degree);
+  EXPECT_EQ(degree, 2u);
+  EXPECT_EQ(bucket, (std::vector<VertexId>{1}));
+  EXPECT_TRUE(queue.PopMinBucket(only_vertex_1, &degree).empty());
 }
 
 TEST(Rng, DeterministicAcrossInstances) {
