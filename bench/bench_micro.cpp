@@ -100,7 +100,7 @@ void BM_PatternEmbeddings(benchmark::State& state) {
   Graph g = gen::ErdosRenyi(500, 0.02, 0xE1B);
   Pattern p = state.range(0) == 0 ? Pattern::Diamond() : Pattern::C3Star();
   for (auto _ : state) {
-    EmbeddingEnumerator e(g, p);
+    PatternMatcher e(g, p);
     benchmark::DoNotOptimize(e.CountInstances({}));
   }
 }

@@ -1,7 +1,8 @@
 // Peeling-engine scaling bench: runs every peeling-based algorithm through
 // dsd::Solve at several thread budgets — the workloads whose hot loop is
 // now the batch-bracket peeling engine (bucket queue + parallel frontier
-// PeelBatch) — over a clique motif and a closed-form star motif, and emits
+// PeelBatch) — over a clique motif, a closed-form star motif, and a generic
+// 5-vertex motif (basket) with no closed form — and emits
 // machine-readable JSON (one record per algo x motif x graph x threads) so
 // scripts/run_bench.sh can track the perf trajectory as BENCH_peel.json.
 //
@@ -26,6 +27,11 @@ namespace {
 struct BenchGraph {
   std::string name;
   Graph graph;
+  // Motifs worth timing at this graph's scale: the generic 5-vertex motif
+  // row runs on its own smaller community graph, where a full basket
+  // decomposition stays in bench budget while its brackets are still large
+  // enough to shard through the generic rank-masked peel kernel.
+  std::vector<std::string> motifs;
 };
 
 struct Record {
@@ -44,21 +50,28 @@ int Run(std::FILE* out) {
   // power-law community graph has huge low-degree brackets (the periphery)
   // where the parallel frontier kernels get real shards.
   std::vector<BenchGraph> graphs;
-  graphs.push_back({"demo_planted_k15", gen::PlantedClique(500, 0.01, 15, 7)});
+  graphs.push_back({"demo_planted_k15", gen::PlantedClique(500, 0.01, 15, 7),
+                    {"4-clique", "3-star"}});
   graphs.push_back(
-      {"communities_6k", gen::PowerLawWithCommunities(6000, 3, 20, 12, 0.9,
-                                                      0x9EE1)});
+      {"communities_6k",
+       gen::PowerLawWithCommunities(6000, 3, 20, 12, 0.9, 0x9EE1),
+       {"4-clique", "3-star"}});
+  // Generic-engine row: basket (5-vertex house, no closed form) exercises
+  // the plan-compiled matcher and the generic parallel peel kernel.
+  graphs.push_back(
+      {"communities_1500",
+       gen::PowerLawWithCommunities(1500, 3, 14, 10, 0.9, 0xBA5CE7),
+       {"basket"}});
 
   // The peeling-based algorithm family: peel and at-least decompose the
   // whole graph, core-app peels windows top-down.
   const std::vector<std::string> algos = {"peel", "core-app", "at-least"};
-  const std::vector<std::string> motifs = {"4-clique", "3-star"};
   const std::vector<unsigned> thread_counts = {1, 2, 4};
 
   std::vector<Record> records;
   for (const BenchGraph& bg : graphs) {
     for (const std::string& algo : algos) {
-      for (const std::string& motif : motifs) {
+      for (const std::string& motif : bg.motifs) {
         SolveResponse baseline;
         for (unsigned threads : thread_counts) {
           SolveRequest request;

@@ -1,8 +1,9 @@
 // Thread-scaling bench for the ExecutionContext-aware solve path: runs the
 // parallel-capable algorithms through dsd::Solve at several thread budgets
-// on the bundled demo graphs, plus the pattern-oracle hot queries for a
-// non-clique motif (star-3 through the generic embedding engine — the PDS
-// workload whose root loop the parallel pattern kernels shard), and emits
+// on the bundled demo graphs, plus the pattern-oracle hot queries for
+// non-clique motifs (star-3 forced through the generic engine, and the
+// 5-vertex basket which has no closed form at all — the PDS workloads
+// whose root loops the parallel pattern kernels shard), and emits
 // machine-readable JSON (one record per algo x motif x graph x threads) so
 // scripts/run_bench.sh can track the perf trajectory as BENCH_threads.json.
 //
@@ -91,19 +92,21 @@ int Run(std::FILE* out) {
       }
     }
 
-    // Pattern-oracle scaling: the star-3 motif-degree pass through the
-    // generic embedding engine (use_special_kernels = false, the
-    // bench_ablation baseline) — the query CorePExact hammers, and the one
-    // the parallel pattern kernels shard per root vertex. The closed-form
-    // star kernel is O(m) and would time thread-spawn overhead instead.
-    {
+    // Pattern-oracle scaling: motif-degree passes through the generic
+    // plan-compiled engine — the query CorePExact hammers, and the one the
+    // parallel pattern kernels shard per root vertex. star-3 is forced off
+    // its closed form (use_special_kernels = false, the bench_ablation
+    // baseline; the O(m) kernel would time thread-spawn overhead instead),
+    // and basket is a 5-vertex motif with no closed form at all.
+    for (const std::string& motif : {std::string("3-star"),
+                                     std::string("basket")}) {
       std::vector<uint64_t> baseline_degrees;
       for (unsigned threads : thread_counts) {
         OracleOptions options;
         options.threads = threads;
         options.use_special_kernels = false;
         StatusOr<std::unique_ptr<MotifOracle>> oracle =
-            MakeOracle("3-star", options);
+            MakeOracle(motif, options);
         if (!oracle.ok()) {
           std::fprintf(stderr, "FAIL: %s\n", oracle.status().ToString().c_str());
           return 1;
@@ -118,14 +121,14 @@ int Run(std::FILE* out) {
           baseline_degrees = degrees;
         } else if (degrees != baseline_degrees) {
           std::fprintf(stderr,
-                       "FAIL: star-3 degrees on %s with %u threads diverged "
+                       "FAIL: %s degrees on %s with %u threads diverged "
                        "from the sequential answer\n",
-                       bg.name.c_str(), threads);
+                       motif.c_str(), bg.name.c_str(), threads);
           return 1;
         }
         Record record;
         record.algo = "oracle-degrees";
-        record.motif = "3-star";
+        record.motif = motif;
         record.graph = bg.name;
         record.threads_requested = threads;
         // Same clamp the kernel applies per call (hardware + root count),

@@ -29,16 +29,20 @@ for target in "${targets[@]}"; do
     exit 1
   fi
   echo "==> $target"
-  if [[ $target == bench_threads ]]; then
-    # Thread-scaling bench: machine-readable JSON (algo x threads x wall
-    # time, parity-checked against the sequential run) for trend tracking.
-    "$bin" "$OUT_DIR/BENCH_threads.json"
-    echo "wrote $OUT_DIR/BENCH_threads.json"
-  elif [[ $target == bench_peel ]]; then
-    # Peeling-engine scaling bench: algo x motif x graph x threads JSON,
-    # parity-checked like bench_threads.
-    "$bin" "$OUT_DIR/BENCH_peel.json"
-    echo "wrote $OUT_DIR/BENCH_peel.json"
+  if [[ $target == bench_threads || $target == bench_peel ]]; then
+    # Thread-scaling / peeling-engine benches: machine-readable JSON
+    # (algo x motif x graph x threads x wall time) for trend tracking.
+    # Each multi-threaded row is parity-checked in-bench against its
+    # sequential baseline; a divergence is a correctness bug in the
+    # parallel kernels, not a perf regression — fail the whole run.
+    json="$OUT_DIR/BENCH_${target#bench_}.json"
+    if ! "$bin" "$json"; then
+      echo "FAIL: $target reported a thread-parity divergence (a" >&2
+      echo "multi-threaded answer differed from the sequential baseline);" >&2
+      echo "see the bench output above. Aborting." >&2
+      exit 1
+    fi
+    echo "wrote $json"
   else
     "$bin" | tee "$OUT_DIR/$target.txt"
   fi

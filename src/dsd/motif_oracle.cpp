@@ -111,10 +111,10 @@ std::vector<uint64_t> CliqueOracle::CoreNumberUpperBounds(
 // PatternOracle
 
 PatternOracle::PatternOracle(Pattern pattern, bool use_special_kernels)
-    : pattern_(std::move(pattern)),
-      star_tails_(use_special_kernels ? pattern_.StarTails() : 0),
-      is_four_cycle_(use_special_kernels && pattern_.IsFourCycle()) {
-  assert(pattern_.IsConnected());
+    : plans_(std::move(pattern)),
+      star_tails_(use_special_kernels ? plans_.pattern().StarTails() : 0),
+      is_four_cycle_(use_special_kernels && plans_.pattern().IsFourCycle()) {
+  assert(plans_.pattern().IsConnected());
 }
 
 std::vector<uint64_t> PatternOracle::DegreesImpl(
@@ -122,7 +122,7 @@ std::vector<uint64_t> PatternOracle::DegreesImpl(
     const ExecutionContext&) const {
   if (star_tails_ >= 2) return StarDegrees(graph, star_tails_, alive);
   if (is_four_cycle_) return FourCycleDegrees(graph, alive);
-  return EmbeddingEnumerator(graph, pattern_).Degrees(alive);
+  return PatternMatcher(graph, plans_).Degrees(alive);
 }
 
 uint64_t PatternOracle::CountInstancesImpl(const Graph& graph,
@@ -130,7 +130,7 @@ uint64_t PatternOracle::CountInstancesImpl(const Graph& graph,
                                            const ExecutionContext&) const {
   if (star_tails_ >= 2) return StarCount(graph, star_tails_, alive);
   if (is_four_cycle_) return FourCycleCount(graph, alive);
-  return EmbeddingEnumerator(graph, pattern_).CountInstances(alive);
+  return PatternMatcher(graph, plans_).CountInstances(alive);
 }
 
 uint64_t PatternOracle::PeelVertex(const Graph& graph, VertexId v,
@@ -143,30 +143,23 @@ uint64_t PatternOracle::PeelVertex(const Graph& graph, VertexId v,
   if (is_four_cycle_) {
     return FourCyclePeelVertex(graph, v, alive, cb);
   }
-  // Embedding-level hit counts; each instance containing v and u produces
-  // exactly |Aut| embeddings, all containing both (see isomorphism.h).
-  EmbeddingEnumerator enumerator(graph, pattern_);
+  // Canonical instance-level peel: each destroyed instance is matched once
+  // (no automorphism division), and the folded reduction reports weighted
+  // per-member hits without materializing images. Aggregate those into one
+  // cb call per vertex, matching the pre-plan behaviour.
+  PatternMatcher matcher(graph, plans_);
+  PatternMatcher::Scratch scratch = matcher.MakeScratch();
   std::unordered_map<VertexId, uint64_t> hits;
-  uint64_t embeddings = 0;
-  enumerator.EnumerateContaining(v, alive,
-                                 [&](std::span<const VertexId> image) {
-                                   ++embeddings;
-                                   for (VertexId u : image) {
-                                     if (u != v) ++hits[u];
-                                   }
-                                 });
-  const uint64_t aut = pattern_.AutomorphismCount();
-  for (const auto& [u, count] : hits) {
-    assert(count % aut == 0);
-    cb(u, count / aut);
-  }
-  assert(embeddings % aut == 0);
-  return embeddings / aut;
+  const uint64_t destroyed = matcher.PeelContaining(
+      v, /*rank=*/{}, /*my_rank=*/0, alive, scratch,
+      [&](VertexId u, uint64_t count) { hits[u] += count; });
+  for (const auto& [u, count] : hits) cb(u, count);
+  return destroyed;
 }
 
 std::vector<InstanceGroup> PatternOracle::Groups(
     const Graph& graph, std::span<const char> alive) const {
-  return EmbeddingEnumerator(graph, pattern_).Groups(alive);
+  return PatternMatcher(graph, plans_).Groups(alive);
 }
 
 std::vector<uint64_t> PatternOracle::CoreNumberUpperBounds(

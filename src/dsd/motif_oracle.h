@@ -5,7 +5,9 @@
 // An oracle encapsulates one motif Psi and answers instance-level queries on
 // any graph (the algorithms repeatedly apply it to induced subgraphs such as
 // (k, Psi)-cores). CliqueOracle is backed by the kClist enumerator;
-// PatternOracle by the generic embedding engine with specialised star/4-cycle
+// PatternOracle by the plan-compiled extension/reduction engine of
+// pattern/isomorphism.h (symmetry-broken, so instances are enumerated
+// canonically with no automorphism division) with specialised star/4-cycle
 // kernels (appendix D).
 //
 // Execution policy is part of the interface: the hot queries (Degrees and
@@ -174,17 +176,19 @@ class CliqueOracle : public MotifOracle {
 
 /// Oracle for arbitrary connected patterns. Uses the closed-form star /
 /// 4-cycle kernels of appendix D when the pattern allows, the generic
-/// embedding enumerator otherwise. Sequential; ParallelPatternOracle
-/// (dsd/parallel_oracle.h) derives from this and dispatches the hot
-/// queries to the src/parallel/ pattern kernels on ctx.threads workers.
+/// plan-compiled matcher otherwise (plans are compiled once at
+/// construction and shared by every query). Sequential;
+/// ParallelPatternOracle (dsd/parallel_oracle.h) derives from this and
+/// dispatches the hot queries — including generic PeelBatch — to the
+/// src/parallel/ pattern kernels on ctx.threads workers.
 class PatternOracle : public MotifOracle {
  public:
-  /// use_special_kernels = false forces the generic embedding engine even
-  /// for stars and 4-cycles (the bench_ablation baseline).
+  /// use_special_kernels = false forces the generic engine even for stars
+  /// and 4-cycles (the bench_ablation baseline).
   explicit PatternOracle(Pattern pattern, bool use_special_kernels = true);
 
-  int MotifSize() const override { return pattern_.size(); }
-  std::string Name() const override { return pattern_.name(); }
+  int MotifSize() const override { return pattern().size(); }
+  std::string Name() const override { return pattern().name(); }
   uint64_t PeelVertex(const Graph& graph, VertexId v,
                       std::span<const char> alive,
                       const PeelCallback& cb) const override;
@@ -193,7 +197,7 @@ class PatternOracle : public MotifOracle {
   std::vector<uint64_t> CoreNumberUpperBounds(
       const Graph& graph) const override;
 
-  const Pattern& pattern() const { return pattern_; }
+  const Pattern& pattern() const { return plans_.pattern(); }
 
  protected:
   std::vector<uint64_t> DegreesImpl(const Graph& graph,
@@ -208,9 +212,14 @@ class PatternOracle : public MotifOracle {
   int star_tails() const { return star_tails_; }
   bool four_cycle_kernel() const { return is_four_cycle_; }
 
+  /// The compiled plan set (instance semantics), shared with
+  /// ParallelPatternOracle so the sequential and parallel generic paths
+  /// drive the exact same plans.
+  const PatternPlanSet& plans() const { return plans_; }
+
  private:
-  Pattern pattern_;
-  int star_tails_;     // > 0 iff pattern is K_{1,x}
+  PatternPlanSet plans_;  // owns the pattern
+  int star_tails_;        // > 0 iff pattern is K_{1,x}
   bool is_four_cycle_;
 };
 

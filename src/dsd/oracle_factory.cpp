@@ -43,9 +43,10 @@ std::unique_ptr<MotifOracle> BuildCliqueOracle(int h,
 std::unique_ptr<MotifOracle> BuildPatternOracle(Pattern pattern,
                                                 const OracleOptions& options) {
   // Same policy as the clique side: a thread budget > 1 selects the
-  // parallel pattern oracle (per-root sharding of the embedding enumerator,
-  // per-vertex parallel closed forms); a sequential budget keeps the plain
-  // oracle.
+  // parallel pattern oracle (per-root sharding of the plan-compiled
+  // matcher, per-vertex parallel closed forms, and frontier peel kernels
+  // for every pattern family — generic motifs included, so the budget is
+  // honored end to end); a sequential budget keeps the plain oracle.
   if (options.threads > 1) {
     return std::make_unique<ParallelPatternOracle>(
         std::move(pattern), options.use_special_kernels,

@@ -10,9 +10,9 @@ namespace dsd {
 // Alive-masked clique queries reduce to whole-graph kernel runs on the
 // induced alive subgraph (InducedAliveSubgraph — the same reduction the
 // sequential oracle uses), keeping the kernels' per-root partitioning
-// intact. The pattern kernels take the mask natively (the embedding
-// enumerator and the closed forms are alive-aware), matching the
-// sequential PatternOracle paths exactly.
+// intact. The pattern kernels take the mask natively (the plan-compiled
+// matcher and the closed forms are alive-aware), matching the sequential
+// PatternOracle paths exactly.
 
 std::vector<uint64_t> ParallelCliqueOracle::DegreesImpl(
     const Graph& graph, std::span<const char> alive,
@@ -62,7 +62,7 @@ std::vector<uint64_t> ParallelPatternOracle::DegreesImpl(
     return ParallelFourCycleDegrees(graph, alive, ctx.threads,
                                     scratch_budget_bytes_);
   }
-  return ParallelPatternDegrees(graph, pattern(), alive, ctx.threads);
+  return ParallelPatternDegrees(graph, plans(), alive, ctx.threads);
 }
 
 uint64_t ParallelPatternOracle::CountInstancesImpl(
@@ -78,27 +78,35 @@ uint64_t ParallelPatternOracle::CountInstancesImpl(
     return ParallelFourCycleCount(graph, alive, ctx.threads,
                                   scratch_budget_bytes_);
   }
-  return ParallelPatternCount(graph, pattern(), alive, ctx.threads);
+  return ParallelPatternCount(graph, plans(), alive, ctx.threads);
 }
 
 std::vector<uint64_t> ParallelPatternOracle::PeelBatch(
     const Graph& graph, std::span<const VertexId> frontier,
     std::span<char> alive, const PeelCallback& cb,
     const ExecutionContext& ctx) const {
-  if (ctx.threads > 1 &&
-      WorthParallelPeel(frontier.size(), graph.NumVertices())) {
-    if (star_tails() >= 2) {
-      return ParallelStarPeelBatch(graph, star_tails(), frontier, alive, cb,
-                                   ctx);
-    }
-    if (four_cycle_kernel()) {
+  if (ctx.threads > 1) {
+    const bool closed_form = star_tails() >= 2 || four_cycle_kernel();
+    if (closed_form &&
+        WorthParallelPeel(frontier.size(), graph.NumVertices())) {
+      if (star_tails() >= 2) {
+        return ParallelStarPeelBatch(graph, star_tails(), frontier, alive, cb,
+                                     ctx);
+      }
       return ParallelFourCyclePeelBatch(graph, frontier, alive, cb, ctx,
                                         scratch_budget_bytes_);
     }
+    // Generic patterns shard through the rank-masked plan kernel; the
+    // per-member peel is expensive enough that even small brackets win
+    // (WorthParallelGenericPeel's laxer ratio).
+    if (!closed_form &&
+        WorthParallelGenericPeel(frontier.size(), graph.NumVertices())) {
+      return ParallelPatternPeelBatch(graph, plans(), frontier, alive, cb,
+                                      ctx);
+    }
   }
-  // Generic patterns: the embedding-level peel is kept sequential (its
-  // per-vertex hit maps do not reduce through the frontier kernels), as is
-  // any bracket too small to amortise worker spawn.
+  // Brackets too small to amortise worker spawn (or a sequential context)
+  // keep the default PeelVertex loop.
   return PatternOracle::PeelBatch(graph, frontier, alive, cb, ctx);
 }
 

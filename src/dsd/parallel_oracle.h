@@ -2,16 +2,17 @@
 // by the Section 6.3 parallel kernels.
 //
 // The kClist DAG partitions h-clique instances by their degeneracy-minimal
-// root, and the embedding enumerator partitions pattern embeddings by the
-// data vertex their first search-order position maps to — so Degrees and
+// root, and the plan-compiled pattern matcher partitions canonical matches
+// by the data vertex their level-0 position maps to — so Degrees and
 // CountInstances (the queries the exact and core algorithms issue on every
 // (k, Psi)-core restriction) parallelise embarrassingly for both problem
 // families. These oracles dispatch those two queries to the src/parallel/
 // kernels on ctx.threads workers, and PeelBatch — the whole-bracket removal
 // the batch peeling engine in dsd/motif_core.cpp issues — to the frontier
-// kernels of parallel/parallel_peel.h (cliques, stars, 4-cycles; other
-// patterns keep the sequential default loop). Everything else (PeelVertex,
-// Groups, core bounds) is inherited from the sequential bases unchanged.
+// kernels of parallel/parallel_peel.h for EVERY motif family (cliques,
+// stars, 4-cycles, and arbitrary patterns via the rank-masked generic
+// kernel). Everything else (PeelVertex, Groups, core bounds) is inherited
+// from the sequential bases unchanged.
 // Results are bit-identical to the sequential oracles for every thread
 // count: the only cross-worker combination in the kernels is uint64
 // addition, and the peel kernels evaluate each bracket member under the
@@ -59,7 +60,7 @@ class ParallelCliqueOracle : public CliqueOracle {
 };
 
 /// PatternOracle whose hot queries run on ctx.threads workers: the root
-/// loop of the generic embedding enumerator is sharded per worker (hub
+/// loop of the generic plan-compiled matcher is sharded per worker (hub
 /// roots split into candidate-loop slices), and the appendix-D closed
 /// forms (stars, 4-cycle) become per-vertex parallel passes — the same
 /// kernel branch the sequential oracle would take, so results match it
@@ -83,9 +84,11 @@ class ParallelPatternOracle : public PatternOracle {
     return std::numeric_limits<unsigned>::max();
   }
 
-  /// Stars and 4-cycles take the parallel closed-form frontier kernels for
-  /// large brackets; other patterns (and small brackets) keep the default
-  /// PeelVertex loop. Either path returns the same bits.
+  /// Stars and 4-cycles take the parallel closed-form frontier kernels;
+  /// every other pattern takes the generic rank-masked kernel, so the
+  /// thread budget is honored for arbitrary motifs too. Brackets too small
+  /// to amortise a kernel's setup keep the default PeelVertex loop. Every
+  /// path returns the same bits.
   std::vector<uint64_t> PeelBatch(const Graph& graph,
                                   std::span<const VertexId> frontier,
                                   std::span<char> alive, const PeelCallback& cb,

@@ -31,8 +31,8 @@ uint64_t AliveDegree(const Graph& graph, std::span<const char> alive,
   return d;
 }
 
-// One unit of generic-enumerator work: a root, or one candidate-loop slice
-// of a hub root (EnumerateFromRoot's slice parameters).
+// One unit of generic-matcher work: a root, or one candidate-loop slice
+// of a hub root (MatchFromRoot's slice parameters).
 struct RootSlice {
   VertexId root;
   uint32_t slice;
@@ -68,61 +68,59 @@ std::vector<RootSlice> BuildRootSlices(const Graph& graph, unsigned t) {
 }  // namespace
 
 std::vector<uint64_t> ParallelPatternDegrees(const Graph& graph,
-                                             const Pattern& pattern,
+                                             const PatternPlanSet& plans,
                                              std::span<const char> alive,
                                              unsigned threads) {
   const VertexId n = graph.NumVertices();
   const unsigned t = ResolveThreadCount(threads, n);
-  EmbeddingEnumerator enumerator(graph, pattern);
-  if (t == 1) return enumerator.Degrees(alive);
-  // Warm the lazy automorphism cache before workers share the enumerator.
-  const uint64_t aut = enumerator.pattern().AutomorphismCount();
-  std::vector<EmbeddingEnumerator::Scratch> scratch;
+  PatternMatcher matcher(graph, plans);
+  if (t == 1) return matcher.Degrees(alive);
+  std::vector<PatternMatcher::Scratch> scratch;
   scratch.reserve(t);
-  for (unsigned w = 0; w < t; ++w) scratch.push_back(enumerator.MakeScratch());
+  for (unsigned w = 0; w < t; ++w) scratch.push_back(matcher.MakeScratch());
   const std::vector<RootSlice> items = BuildRootSlices(graph, t);
   ChunkedAccumulator hits(n, t);
   ParallelForStrided(items.size(), t, [&](unsigned worker, uint64_t i) {
     const RootSlice& item = items[i];
-    enumerator.EnumerateFromRoot(item.root, alive, scratch[worker],
-                                 [&](std::span<const VertexId> image) {
-                                   for (VertexId u : image) {
-                                     hits.Add(worker, u);
-                                   }
-                                 },
-                                 item.slice, item.num_slices);
+    matcher.DegreesFromRoot(
+        item.root, alive, scratch[worker],
+        [&](VertexId u, uint64_t count) { hits.Add(worker, u, count); },
+        item.slice, item.num_slices);
   });
-  std::vector<uint64_t> degrees = std::move(hits).Finish();
-  for (uint64_t& d : degrees) {
-    assert(d % aut == 0);
-    d /= aut;
-  }
-  return degrees;
+  return std::move(hits).Finish();
 }
 
-uint64_t ParallelPatternCount(const Graph& graph, const Pattern& pattern,
+std::vector<uint64_t> ParallelPatternDegrees(const Graph& graph,
+                                             const Pattern& pattern,
+                                             std::span<const char> alive,
+                                             unsigned threads) {
+  return ParallelPatternDegrees(graph, PatternPlanSet(pattern), alive, threads);
+}
+
+uint64_t ParallelPatternCount(const Graph& graph, const PatternPlanSet& plans,
                               std::span<const char> alive, unsigned threads) {
   const VertexId n = graph.NumVertices();
   const unsigned t = ResolveThreadCount(threads, n);
-  EmbeddingEnumerator enumerator(graph, pattern);
-  if (t == 1) return enumerator.CountInstances(alive);
-  const uint64_t aut = enumerator.pattern().AutomorphismCount();
-  std::vector<EmbeddingEnumerator::Scratch> scratch;
+  PatternMatcher matcher(graph, plans);
+  if (t == 1) return matcher.CountInstances(alive);
+  std::vector<PatternMatcher::Scratch> scratch;
   scratch.reserve(t);
-  for (unsigned w = 0; w < t; ++w) scratch.push_back(enumerator.MakeScratch());
+  for (unsigned w = 0; w < t; ++w) scratch.push_back(matcher.MakeScratch());
   const std::vector<RootSlice> items = BuildRootSlices(graph, t);
   std::vector<PaddedCounter> partial(t);
   ParallelForStrided(items.size(), t, [&](unsigned worker, uint64_t i) {
     const RootSlice& item = items[i];
-    enumerator.EnumerateFromRoot(
-        item.root, alive, scratch[worker],
-        [&](std::span<const VertexId>) { ++partial[worker].value; },
-        item.slice, item.num_slices);
+    partial[worker].value += matcher.CountFromRoot(
+        item.root, alive, scratch[worker], item.slice, item.num_slices);
   });
-  uint64_t embeddings = 0;
-  for (const PaddedCounter& p : partial) embeddings += p.value;
-  assert(embeddings % aut == 0);
-  return embeddings / aut;
+  uint64_t total = 0;
+  for (const PaddedCounter& p : partial) total += p.value;
+  return total;
+}
+
+uint64_t ParallelPatternCount(const Graph& graph, const Pattern& pattern,
+                              std::span<const char> alive, unsigned threads) {
+  return ParallelPatternCount(graph, PatternPlanSet(pattern), alive, threads);
 }
 
 std::vector<uint64_t> ParallelStarDegrees(const Graph& graph, int x,

@@ -1,26 +1,28 @@
 // Parallel kernels behind the pattern-oracle hot queries (the PDS side of
 // the Section 6.3 parallelizability claim).
 //
-// The generic embedding enumerator partitions embeddings by the data vertex
-// their first search-order pattern position maps to (the "root"), exactly
-// like the kClist DAG partitions cliques by degeneracy-minimal root — so
-// Degrees and CountInstances shard per root across ParallelForStrided
-// workers. The appendix-D closed-form kernels (stars, 4-cycle) are
-// per-vertex formulas and parallelise even more directly: each worker owns
-// the output entries of its strided vertices. Every kernel is bit-identical
-// to its sequential counterpart in pattern/ for every thread count: the
-// only cross-worker combination is uint64 addition, which commutes.
+// The plan-compiled matcher partitions canonical matches by the data vertex
+// their level-0 pattern position maps to (the "root"), exactly like the
+// kClist DAG partitions cliques by degeneracy-minimal root — so Degrees and
+// CountInstances shard per root across ParallelForStrided workers, each
+// driving the folded per-level reductions (no embeddings are materialized,
+// and symmetry breaking means no automorphism division either). The
+// appendix-D closed-form kernels (stars, 4-cycle) are per-vertex formulas
+// and parallelise even more directly: each worker owns the output entries
+// of its strided vertices. Every kernel is bit-identical to its sequential
+// counterpart in pattern/ for every thread count: the only cross-worker
+// combination is uint64 addition, which commutes.
 //
 // Thread counts are clamped by the root-vertex count (ResolveThreadCount's
 // 2-arg overload) so tiny graphs neither spawn idle workers nor allocate
 // per-worker scratch they cannot use.
 //
 // Load balancing: the generic kernels no longer shard per root alone. A hub
-// root whose embedding subtree dwarfs everyone else's would pin one worker
+// root whose match subtree dwarfs everyone else's would pin one worker
 // while the rest idle, so roots whose degree exceeds a skew threshold are
 // split into several work items, each covering a stride of the root's
-// first-extension candidate loop (EnumerateFromRoot's slice parameters).
-// Slices partition the root's embeddings exactly, so the reduction — and
+// first-extension candidate loop (MatchFromRoot's slice parameters).
+// Slices partition the root's matches exactly, so the reduction — and
 // the bit-identical contract — are unchanged.
 #ifndef DSD_PARALLEL_PARALLEL_PATTERN_H_
 #define DSD_PARALLEL_PARALLEL_PATTERN_H_
@@ -32,19 +34,32 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "pattern/isomorphism.h"
 #include "pattern/pattern.h"
 
 namespace dsd {
 
-/// Pattern-degrees via per-root sharding of the generic embedding
-/// enumerator; matches EmbeddingEnumerator::Degrees(alive) exactly.
+/// Pattern-degrees via per-root sharding of the compiled plans' folded
+/// degree reduction; matches PatternMatcher(graph, plans).Degrees(alive)
+/// exactly. The oracle path passes its once-compiled PatternPlanSet so no
+/// query recompiles plans.
+std::vector<uint64_t> ParallelPatternDegrees(const Graph& graph,
+                                             const PatternPlanSet& plans,
+                                             std::span<const char> alive,
+                                             unsigned threads);
+
+/// Convenience overload compiling an instance-semantics plan set ad hoc.
 std::vector<uint64_t> ParallelPatternDegrees(const Graph& graph,
                                              const Pattern& pattern,
                                              std::span<const char> alive,
                                              unsigned threads);
 
 /// mu(G, Psi) via per-root sharding; matches
-/// EmbeddingEnumerator::CountInstances(alive) exactly.
+/// PatternMatcher(graph, plans).CountInstances(alive) exactly.
+uint64_t ParallelPatternCount(const Graph& graph, const PatternPlanSet& plans,
+                              std::span<const char> alive, unsigned threads);
+
+/// Convenience overload compiling an instance-semantics plan set ad hoc.
 uint64_t ParallelPatternCount(const Graph& graph, const Pattern& pattern,
                               std::span<const char> alive, unsigned threads);
 

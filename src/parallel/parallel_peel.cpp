@@ -14,7 +14,10 @@ namespace dsd {
 
 namespace {
 
-constexpr uint32_t kNoRank = UINT32_MAX;
+// Rank sentinel shared with the generic engine: survivors carry
+// kNoPeelRank (pattern/isomorphism.h), which is also the natural "alive
+// forever" maximum for the rank comparisons below.
+constexpr uint32_t kNoRank = kNoPeelRank;
 
 // rank[v] = position of v in the frontier, kNoRank for survivors. The rank
 // mask turns "peel the bracket one vertex at a time in rank order" into a
@@ -223,6 +226,34 @@ std::vector<uint64_t> ParallelFourCyclePeelBatch(
         }
         for (VertexId w : ends) path_count[w] = 0;
         destroyed[i] = lost;
+      });
+  return FinishBatch(std::move(destroyed), processed, frontier, alive,
+                     std::move(deltas), cb);
+}
+
+std::vector<uint64_t> ParallelPatternPeelBatch(
+    const Graph& graph, const PatternPlanSet& plans,
+    std::span<const VertexId> frontier, std::span<char> alive,
+    const PeelCallback& cb, const ExecutionContext& ctx) {
+  const VertexId n = graph.NumVertices();
+  const size_t b = frontier.size();
+  const unsigned t = ResolveThreadCount(ctx.threads, b);
+  const std::vector<uint32_t> rank = BuildRanks(n, frontier);
+  std::vector<uint64_t> destroyed(b, 0);
+  ChunkedAccumulator deltas(n, t);
+  PatternMatcher matcher(graph, plans);
+  std::vector<PatternMatcher::Scratch> scratch;
+  scratch.reserve(t);
+  for (unsigned w = 0; w < t; ++w) scratch.push_back(matcher.MakeScratch());
+  // Enumeration runs against the bracket-start mask (every member still
+  // alive); PeelContaining's rank filter restores each member's sequential
+  // view and reports survivor deltas only.
+  const std::span<const char> mask(alive.data(), alive.size());
+  const size_t processed =
+      RunChunked(b, t, ctx, [&](unsigned worker, size_t i) {
+        destroyed[i] = matcher.PeelContaining(
+            frontier[i], rank, static_cast<uint32_t>(i), mask, scratch[worker],
+            [&](VertexId u, uint64_t count) { deltas.Add(worker, u, count); });
       });
   return FinishBatch(std::move(destroyed), processed, frontier, alive,
                      std::move(deltas), cb);

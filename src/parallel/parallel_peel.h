@@ -15,7 +15,11 @@
 //     pattern/special.cpp re-derived against the rank-aware aliveness
 //     predicate (deliberate mirror, like parallel_pattern.cpp — the two
 //     implementations stay independent so the differential suite compares
-//     real alternatives; edit them in step).
+//     real alternatives; edit them in step);
+//   - generic patterns: PatternMatcher::PeelContaining drives the compiled
+//     plans under the same rank mask, pruning branches through lower-rank
+//     members mid-extension (min-rank attribution without enumerating the
+//     instances the member does not own).
 // Per-frontier destroyed counts are written to worker-owned slots;
 // survivor degree-deltas are summed through ChunkedAccumulator (weighted
 // adds) and reported through the caller's single-threaded callback after
@@ -59,6 +63,17 @@ inline bool WorthParallelPeel(size_t frontier_size, uint64_t num_vertices) {
          frontier_size * 256 >= num_vertices;
 }
 
+/// Worth test for the generic-pattern batch kernel. Same absolute floor as
+/// WorthParallelPeel, but a much laxer bracket-to-graph ratio: a generic
+/// member's peel work (full plan-driven enumeration through the member)
+/// dwarfs the kernel's O(n) setup long before a clique member's cheap
+/// neighborhood scan would, so small brackets on big graphs still win.
+inline bool WorthParallelGenericPeel(size_t frontier_size,
+                                     uint64_t num_vertices) {
+  return frontier_size >= kMinParallelPeelFrontier &&
+         frontier_size * 4096 >= num_vertices;
+}
+
 /// Batch h-clique peel of `frontier` (rank = span position) from `alive`
 /// on ctx.threads workers. See MotifOracle::PeelBatch for the contract.
 std::vector<uint64_t> ParallelCliquePeelBatch(const Graph& graph, int h,
@@ -82,6 +97,16 @@ std::vector<uint64_t> ParallelFourCyclePeelBatch(
     const Graph& graph, std::span<const VertexId> frontier,
     std::span<char> alive, const PeelCallback& cb, const ExecutionContext& ctx,
     uint64_t scratch_budget_bytes = 0);
+
+/// Batch peel for an arbitrary connected pattern via the compiled plans'
+/// rank-masked PeelContaining reduction. Workers share one PatternMatcher
+/// (and the caller's once-compiled PatternPlanSet) and carry their own
+/// Scratch. Bit-identical to looping PatternOracle::PeelVertex over the
+/// frontier in order, for every thread count.
+std::vector<uint64_t> ParallelPatternPeelBatch(
+    const Graph& graph, const PatternPlanSet& plans,
+    std::span<const VertexId> frontier, std::span<char> alive,
+    const PeelCallback& cb, const ExecutionContext& ctx);
 
 }  // namespace dsd
 

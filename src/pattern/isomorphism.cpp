@@ -8,25 +8,57 @@
 
 namespace dsd {
 
-EmbeddingEnumerator::EmbeddingEnumerator(const Graph& graph,
-                                         const Pattern& pattern)
-    : graph_(graph), pattern_(pattern) {
-  assert(pattern_.IsConnected());
-  default_order_ = SearchOrderFrom(0);
+namespace {
+
+// Orbit-stabilizer chain over Aut(Psi) (Grochow-Kellis): pick the smallest
+// pattern vertex moved by the remaining automorphisms, demand its image be
+// the minimum over its orbit's images, then recurse on the stabilizer.
+// Each round multiplies the constraint factor by the orbit size, and the
+// product of orbit sizes along the chain is exactly |Aut(Psi)| — so an
+// embedding satisfies every condition iff it is the unique canonical
+// representative of its instance.
+std::vector<std::pair<int, int>> SymmetryBreakingConditions(
+    const Pattern& pattern) {
+  std::vector<std::vector<int>> autos = pattern.Automorphisms();
+  std::vector<std::pair<int, int>> conditions;
+  while (autos.size() > 1) {
+    int pivot = -1;
+    for (int v = 0; v < pattern.size() && pivot < 0; ++v) {
+      for (const std::vector<int>& sigma : autos) {
+        if (sigma[v] != v) {
+          pivot = v;
+          break;
+        }
+      }
+    }
+    assert(pivot >= 0);
+    std::set<int> orbit;
+    for (const std::vector<int>& sigma : autos) {
+      if (sigma[pivot] != pivot) orbit.insert(sigma[pivot]);
+    }
+    for (int u : orbit) conditions.emplace_back(pivot, u);
+    std::erase_if(autos, [pivot](const std::vector<int>& sigma) {
+      return sigma[pivot] != pivot;
+    });
+  }
+  return conditions;
 }
 
-std::vector<int> EmbeddingEnumerator::SearchOrderFrom(int start) const {
-  const int k = pattern_.size();
+// Greedy matching order from `start`: next is the unplaced vertex with the
+// most already-placed neighbors (maximises pruning); connectivity of the
+// pattern guarantees at least one placed neighbor at every level.
+PatternPlan CompileRootedPlan(const Pattern& pattern,
+                              const std::vector<std::pair<int, int>>& conditions,
+                              int start) {
+  const int k = pattern.size();
   std::vector<int> order = {start};
   uint32_t used = 1u << start;
   while (static_cast<int>(order.size()) < k) {
-    // Greedy: next vertex with the most already-placed neighbors (maximises
-    // pruning); connectivity guarantees at least one such neighbor exists.
     int best = -1;
     int best_links = -1;
     for (int p = 0; p < k; ++p) {
       if ((used >> p) & 1u) continue;
-      int links = std::popcount(pattern_.AdjacencyMask(p) & used);
+      const int links = std::popcount(pattern.AdjacencyMask(p) & used);
       if (links > best_links) {
         best_links = links;
         best = p;
@@ -36,146 +68,385 @@ std::vector<int> EmbeddingEnumerator::SearchOrderFrom(int start) const {
     order.push_back(best);
     used |= 1u << best;
   }
-  return order;
-}
-
-void EmbeddingEnumerator::Backtrack(const std::vector<int>& order,
-                                    size_t depth, std::vector<VertexId>& image,
-                                    uint32_t used_pattern_mask,
-                                    std::span<const char> alive,
-                                    std::vector<char>& used_graph,
-                                    const EmbeddingCallback& cb,
-                                    unsigned slice,
-                                    unsigned num_slices) const {
-  if (depth == order.size()) {
-    cb(image);
-    return;
-  }
-  const int p = order[depth];
-  const uint32_t mapped_neighbors =
-      pattern_.AdjacencyMask(p) & used_pattern_mask;
-  assert(mapped_neighbors != 0);
-  // Anchor on the mapped neighbor with the smallest degree in G.
-  int anchor = -1;
-  for (int q = 0; q < pattern_.size(); ++q) {
-    if (((mapped_neighbors >> q) & 1u) &&
-        (anchor < 0 || graph_.Degree(image[q]) < graph_.Degree(image[anchor]))) {
-      anchor = q;
+  std::vector<int> level_of(k, -1);
+  for (int i = 0; i < k; ++i) level_of[order[i]] = i;
+  PatternPlan plan;
+  plan.levels.resize(k);
+  for (int i = 0; i < k; ++i) {
+    PatternPlan::Level& level = plan.levels[i];
+    level.pattern_vertex = order[i];
+    const uint32_t adjacency = pattern.AdjacencyMask(order[i]);
+    for (int j = 0; j < i; ++j) {
+      if ((adjacency >> order[j]) & 1u) level.connected |= 1u << j;
     }
   }
-  // Hub slicing applies to the root's own candidate loop only (depth 1,
+  // A condition image[a] < image[b] compiles into the level where the
+  // SECOND endpoint lands, so every condition is checked exactly once and
+  // as early as possible — pruning whole automorphic subtrees.
+  for (const auto& [a, b] : conditions) {
+    const int la = level_of[a];
+    const int lb = level_of[b];
+    if (la < lb) {
+      plan.levels[lb].greater |= 1u << la;
+    } else {
+      plan.levels[la].less |= 1u << lb;
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+PatternPlanSet::PatternPlanSet(Pattern pattern, MatchSemantics semantics)
+    : pattern_(std::move(pattern)), semantics_(semantics) {
+  assert(pattern_.IsConnected());
+  // Force the lazy automorphism cache now, even under kEmbeddings (whose
+  // counts divide by |Aut|): a fully-compiled const plan set is safe to
+  // share across worker threads.
+  pattern_.AutomorphismCount();
+  if (semantics_ == MatchSemantics::kInstances) {
+    conditions_ = SymmetryBreakingConditions(pattern_);
+  }
+  rooted_.reserve(pattern_.size());
+  for (int p = 0; p < pattern_.size(); ++p) {
+    rooted_.push_back(CompileRootedPlan(pattern_, conditions_, p));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The extension/reduction core. A Policy supplies the per-level hooks:
+//   - Admit(u)           optional toAdd filter beyond the plan constraints
+//                        (the rank mask of the peel kernels);
+//   - OnMatch(image)     materializing terminal: full image per match; OR
+//   - OnTerminal(u) + OnLevelDone(count, plan, scratch)
+//                        folded terminal: one call per last-level candidate
+//                        and one per exhausted last-level candidate loop —
+//                        counts and degrees never materialize embeddings.
+
+namespace {
+
+template <typename Policy>
+constexpr bool kMaterializes =
+    requires(Policy& p, std::span<const VertexId> image) { p.OnMatch(image); };
+
+template <typename Policy>
+constexpr bool kHasAdmit = requires(Policy& p, VertexId u) {
+  { p.Admit(u) } -> std::convertible_to<bool>;
+};
+
+struct EmitPolicy {
+  const EmbeddingCallback& cb;
+  void OnMatch(std::span<const VertexId> image) { cb(image); }
+};
+
+struct CountPolicy {
+  uint64_t count = 0;
+  void OnTerminal(VertexId) {}
+  void OnLevelDone(uint64_t hits, const PatternPlan&,
+                   const PatternMatcher::Scratch&) {
+    count += hits;
+  }
+};
+
+struct DegreeVectorPolicy {
+  std::vector<uint64_t>& hits;
+  void OnTerminal(VertexId u) { ++hits[u]; }
+  void OnLevelDone(uint64_t count, const PatternPlan& plan,
+                   const PatternMatcher::Scratch& scratch) {
+    for (size_t l = 0; l + 1 < plan.levels.size(); ++l) {
+      hits[scratch.placed[l]] += count;
+    }
+  }
+};
+
+struct DegreeSinkPolicy {
+  const DegreeSink& sink;
+  void OnTerminal(VertexId u) { sink(u, 1); }
+  void OnLevelDone(uint64_t count, const PatternPlan& plan,
+                   const PatternMatcher::Scratch& scratch) {
+    for (size_t l = 0; l + 1 < plan.levels.size(); ++l) {
+      sink(scratch.placed[l], count);
+    }
+  }
+};
+
+// Rank-masked peel: Admit prunes members already peeled (rank < my_rank);
+// the terminal hooks report survivor deltas only (level 0 is the peeled
+// vertex itself and is skipped).
+struct PeelPolicy {
+  std::span<const uint32_t> rank;
+  uint32_t my_rank;
+  const DegreeSink& sink;
+  uint64_t destroyed = 0;
+
+  bool Admit(VertexId u) const { return rank.empty() || rank[u] >= my_rank; }
+  bool Survivor(VertexId u) const {
+    return rank.empty() || rank[u] == kNoPeelRank;
+  }
+  void OnTerminal(VertexId u) {
+    if (Survivor(u)) sink(u, 1);
+  }
+  void OnLevelDone(uint64_t count, const PatternPlan& plan,
+                   const PatternMatcher::Scratch& scratch) {
+    destroyed += count;
+    for (size_t l = 1; l + 1 < plan.levels.size(); ++l) {
+      const VertexId u = scratch.placed[l];
+      if (Survivor(u)) sink(u, count);
+    }
+  }
+};
+
+}  // namespace
+
+template <typename Policy>
+void PatternMatcher::Extend(const PatternPlan& plan, size_t level,
+                            std::span<const char> alive, Scratch& scratch,
+                            unsigned slice, unsigned num_slices,
+                            Policy& policy) const {
+  const PatternPlan::Level& lv = plan.levels[level];
+  // toExtend: anchor on the placed neighbor level with the smallest data
+  // degree; candidates are the anchor's graph neighbors.
+  const uint32_t connected = lv.connected;
+  assert(connected != 0);
+  int anchor = std::countr_zero(connected);
+  for (uint32_t rest = connected & (connected - 1); rest != 0;
+       rest &= rest - 1) {
+    const int l = std::countr_zero(rest);
+    if (graph_.Degree(scratch.placed[l]) <
+        graph_.Degree(scratch.placed[anchor])) {
+      anchor = l;
+    }
+  }
+  const bool terminal = level + 1 == plan.levels.size();
+  // Hub slicing applies to the root's own candidate loop only (level 1,
   // where the anchor is necessarily the root): the stride is over adjacency
   // positions, before any filtering, so the slices partition the loop
-  // regardless of alive mask or used marks.
-  const bool sliced = depth == 1 && num_slices > 1;
+  // regardless of alive mask, used marks, or policy filters.
+  const bool sliced = level == 1 && num_slices > 1;
+  uint64_t terminal_hits = 0;
   size_t position = 0;
-  for (VertexId u : graph_.Neighbors(image[anchor])) {
+  for (VertexId u : graph_.Neighbors(scratch.placed[anchor])) {
     const size_t index = position++;
     if (sliced && index % num_slices != slice) continue;
-    if (used_graph[u]) continue;
+    if (scratch.used_graph[u]) continue;
     if (!alive.empty() && !alive[u]) continue;
-    bool consistent = true;
-    for (int q = 0; q < pattern_.size() && consistent; ++q) {
-      if (q != anchor && ((mapped_neighbors >> q) & 1u) &&
-          !graph_.HasEdge(u, image[q])) {
-        consistent = false;
-      }
+    if constexpr (kHasAdmit<Policy>) {
+      if (!policy.Admit(u)) continue;
     }
-    if (!consistent) continue;
-    image[p] = u;
-    used_graph[u] = 1;
-    Backtrack(order, depth + 1, image, used_pattern_mask | (1u << p), alive,
-              used_graph, cb, slice, num_slices);
-    used_graph[u] = 0;
+    bool ok = true;
+    for (uint32_t m = lv.greater; ok && m != 0; m &= m - 1) {
+      ok = u > scratch.placed[std::countr_zero(m)];
+    }
+    for (uint32_t m = lv.less; ok && m != 0; m &= m - 1) {
+      ok = u < scratch.placed[std::countr_zero(m)];
+    }
+    // toAdd: connectivity beyond the anchor.
+    for (uint32_t m = connected & ~(1u << anchor); ok && m != 0; m &= m - 1) {
+      ok = graph_.HasEdge(u, scratch.placed[std::countr_zero(m)]);
+    }
+    if (!ok) continue;
+    if (terminal) {
+      if constexpr (kMaterializes<Policy>) {
+        scratch.placed[level] = u;
+        scratch.image[lv.pattern_vertex] = u;
+        policy.OnMatch(std::span<const VertexId>(scratch.image));
+      } else {
+        ++terminal_hits;
+        policy.OnTerminal(u);
+      }
+    } else {
+      scratch.placed[level] = u;
+      scratch.image[lv.pattern_vertex] = u;
+      scratch.used_graph[u] = 1;
+      Extend(plan, level + 1, alive, scratch, slice, num_slices, policy);
+      scratch.used_graph[u] = 0;
+    }
+  }
+  if constexpr (!kMaterializes<Policy>) {
+    if (terminal && terminal_hits > 0) {
+      policy.OnLevelDone(terminal_hits, plan, scratch);
+    }
   }
 }
 
-EmbeddingEnumerator::Scratch EmbeddingEnumerator::MakeScratch() const {
-  return {std::vector<VertexId>(pattern_.size()),
-          std::vector<char>(graph_.NumVertices(), 0)};
-}
-
-void EmbeddingEnumerator::EnumerateFromRoot(VertexId root,
-                                            std::span<const char> alive,
-                                            Scratch& scratch,
-                                            const EmbeddingCallback& cb,
-                                            unsigned slice,
-                                            unsigned num_slices) const {
-  if (!alive.empty() && !alive[root]) return;
-  // A single-vertex pattern has no candidate loop to stride: the root alone
-  // is the embedding, owned by slice 0.
-  if (num_slices > 1 && default_order_.size() == 1 && slice != 0) return;
-  const int p0 = default_order_[0];
+template <typename Policy>
+void PatternMatcher::RunFromRoot(const PatternPlan& plan, VertexId root,
+                                 bool check_root, std::span<const char> alive,
+                                 Scratch& scratch, unsigned slice,
+                                 unsigned num_slices, Policy& policy) const {
+  if (check_root && !alive.empty() && !alive[root]) return;
+  const int p0 = plan.levels[0].pattern_vertex;
+  scratch.placed[0] = root;
   scratch.image[p0] = root;
+  if (plan.levels.size() == 1) {
+    // A single-vertex pattern has no candidate loop to stride: the root
+    // alone is the match, owned by slice 0.
+    if (num_slices > 1 && slice != 0) return;
+    if constexpr (kMaterializes<Policy>) {
+      policy.OnMatch(std::span<const VertexId>(scratch.image));
+    } else {
+      policy.OnTerminal(root);
+      policy.OnLevelDone(1, plan, scratch);
+    }
+    return;
+  }
   scratch.used_graph[root] = 1;
-  Backtrack(default_order_, 1, scratch.image, 1u << p0, alive,
-            scratch.used_graph, cb, slice, num_slices);
+  Extend(plan, 1, alive, scratch, slice, num_slices, policy);
   scratch.used_graph[root] = 0;
 }
 
-void EmbeddingEnumerator::EnumerateAll(std::span<const char> alive,
-                                       const EmbeddingCallback& cb) const {
+// ---------------------------------------------------------------------------
+// PatternMatcher
+
+PatternMatcher::PatternMatcher(const Graph& graph, const PatternPlanSet& plans)
+    : graph_(graph), plans_(&plans) {}
+
+PatternMatcher::PatternMatcher(const Graph& graph, const Pattern& pattern,
+                               MatchSemantics semantics)
+    : graph_(graph),
+      owned_(std::make_shared<const PatternPlanSet>(pattern, semantics)) {
+  plans_ = owned_.get();
+}
+
+PatternMatcher::Scratch PatternMatcher::MakeScratch() const {
+  const size_t k = static_cast<size_t>(pattern().size());
+  return {std::vector<VertexId>(k), std::vector<VertexId>(k),
+          std::vector<char>(graph_.NumVertices(), 0)};
+}
+
+void PatternMatcher::MatchAll(std::span<const char> alive,
+                              const EmbeddingCallback& cb) const {
   Scratch scratch = MakeScratch();
+  EmitPolicy policy{cb};
   for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
-    EnumerateFromRoot(v, alive, scratch, cb);
+    RunFromRoot(plans_->Default(), v, /*check_root=*/true, alive, scratch, 0, 1,
+                policy);
   }
 }
 
-void EmbeddingEnumerator::EnumerateContaining(
-    VertexId v, std::span<const char> alive, const EmbeddingCallback& cb) const {
-  std::vector<VertexId> image(pattern_.size());
-  std::vector<char> used_graph(graph_.NumVertices(), 0);
-  for (int p = 0; p < pattern_.size(); ++p) {
-    std::vector<int> order = SearchOrderFrom(p);
-    image[p] = v;
-    used_graph[v] = 1;
-    Backtrack(order, 1, image, 1u << p, alive, used_graph, cb, 0, 1);
-    used_graph[v] = 0;
+void PatternMatcher::MatchFromRoot(VertexId root, std::span<const char> alive,
+                                   Scratch& scratch, const EmbeddingCallback& cb,
+                                   unsigned slice, unsigned num_slices) const {
+  EmitPolicy policy{cb};
+  RunFromRoot(plans_->Default(), root, /*check_root=*/true, alive, scratch,
+              slice, num_slices, policy);
+}
+
+uint64_t PatternMatcher::CountFromRoot(VertexId root,
+                                       std::span<const char> alive,
+                                       Scratch& scratch, unsigned slice,
+                                       unsigned num_slices) const {
+  CountPolicy policy;
+  RunFromRoot(plans_->Default(), root, /*check_root=*/true, alive, scratch,
+              slice, num_slices, policy);
+  return policy.count;
+}
+
+void PatternMatcher::DegreesFromRoot(VertexId root, std::span<const char> alive,
+                                     Scratch& scratch, const DegreeSink& sink,
+                                     unsigned slice, unsigned num_slices) const {
+  DegreeSinkPolicy policy{sink};
+  RunFromRoot(plans_->Default(), root, /*check_root=*/true, alive, scratch,
+              slice, num_slices, policy);
+}
+
+void PatternMatcher::MatchContaining(VertexId v, std::span<const char> alive,
+                                     Scratch& scratch,
+                                     const EmbeddingCallback& cb) const {
+  // Pin v to each pattern position in turn. Positions partition the
+  // matches containing v: a match maps v at exactly one position, so each
+  // is found once (under kInstances the canonical embedding fixes the
+  // position; under kEmbeddings this is the classic all-positions loop).
+  EmitPolicy policy{cb};
+  for (int p = 0; p < pattern().size(); ++p) {
+    RunFromRoot(plans_->RootedAt(p), v, /*check_root=*/false, alive, scratch,
+                0, 1, policy);
   }
 }
 
-uint64_t EmbeddingEnumerator::CountInstances(
-    std::span<const char> alive) const {
-  uint64_t embeddings = 0;
-  EnumerateAll(alive, [&embeddings](std::span<const VertexId>) {
-    ++embeddings;
-  });
-  const uint64_t aut = pattern_.AutomorphismCount();
-  assert(embeddings % aut == 0);
-  return embeddings / aut;
+uint64_t PatternMatcher::PeelContaining(VertexId v,
+                                        std::span<const uint32_t> rank,
+                                        uint32_t my_rank,
+                                        std::span<const char> alive,
+                                        Scratch& scratch,
+                                        const DegreeSink& sink) const {
+  assert(plans_->semantics() == MatchSemantics::kInstances);
+  assert(pattern().size() >= 2);
+  PeelPolicy policy{rank, my_rank, sink};
+  for (int p = 0; p < pattern().size(); ++p) {
+    RunFromRoot(plans_->RootedAt(p), v, /*check_root=*/false, alive, scratch,
+                0, 1, policy);
+  }
+  return policy.destroyed;
 }
 
-std::vector<uint64_t> EmbeddingEnumerator::Degrees(
+uint64_t PatternMatcher::CountInstances(std::span<const char> alive) const {
+  Scratch scratch = MakeScratch();
+  CountPolicy policy;
+  for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+    RunFromRoot(plans_->Default(), v, /*check_root=*/true, alive, scratch, 0, 1,
+                policy);
+  }
+  if (plans_->semantics() == MatchSemantics::kEmbeddings) {
+    const uint64_t aut = pattern().AutomorphismCount();
+    assert(policy.count % aut == 0);
+    return policy.count / aut;
+  }
+  return policy.count;
+}
+
+std::vector<uint64_t> PatternMatcher::Degrees(
     std::span<const char> alive) const {
   std::vector<uint64_t> hits(graph_.NumVertices(), 0);
-  EnumerateAll(alive, [&hits](std::span<const VertexId> image) {
-    for (VertexId u : image) ++hits[u];
-  });
-  const uint64_t aut = pattern_.AutomorphismCount();
-  for (uint64_t& h : hits) {
-    assert(h % aut == 0);
-    h /= aut;
+  Scratch scratch = MakeScratch();
+  DegreeVectorPolicy policy{hits};
+  for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+    RunFromRoot(plans_->Default(), v, /*check_root=*/true, alive, scratch, 0, 1,
+                policy);
+  }
+  if (plans_->semantics() == MatchSemantics::kEmbeddings) {
+    const uint64_t aut = pattern().AutomorphismCount();
+    for (uint64_t& h : hits) {
+      assert(h % aut == 0);
+      h /= aut;
+    }
   }
   return hits;
 }
 
-std::vector<InstanceGroup> EmbeddingEnumerator::Groups(
+std::vector<InstanceGroup> PatternMatcher::Groups(
     std::span<const char> alive) const {
-  // vertex set -> distinct image edge sets.
+  std::vector<InstanceGroup> result;
+  if (plans_->semantics() == MatchSemantics::kInstances) {
+    // Each match IS one instance, so a group's multiplicity is a plain
+    // match count per sorted vertex set — no edge-set deduplication.
+    std::map<std::vector<VertexId>, uint64_t> groups;
+    std::vector<VertexId> vertices(pattern().size());
+    MatchAll(alive, [&](std::span<const VertexId> image) {
+      vertices.assign(image.begin(), image.end());
+      std::sort(vertices.begin(), vertices.end());
+      ++groups[vertices];
+    });
+    result.reserve(groups.size());
+    for (auto& [vertex_set, multiplicity] : groups) {
+      result.push_back({vertex_set, multiplicity});
+    }
+    return result;
+  }
+  // Reference semantics: vertex set -> distinct image edge sets.
   std::map<std::vector<VertexId>, std::set<std::vector<Edge>>> groups;
-  std::vector<VertexId> vertices(pattern_.size());
+  std::vector<VertexId> vertices(pattern().size());
   std::vector<Edge> edge_image;
-  EnumerateAll(alive, [&](std::span<const VertexId> image) {
+  MatchAll(alive, [&](std::span<const VertexId> image) {
     vertices.assign(image.begin(), image.end());
     std::sort(vertices.begin(), vertices.end());
     edge_image.clear();
-    for (const Edge& e : pattern_.edges()) {
+    for (const Edge& e : pattern().edges()) {
       edge_image.push_back(NormalizeEdge(image[e.first], image[e.second]));
     }
     std::sort(edge_image.begin(), edge_image.end());
     groups[vertices].insert(edge_image);
   });
-  std::vector<InstanceGroup> result;
   result.reserve(groups.size());
   for (auto& [vertex_set, edge_sets] : groups) {
     result.push_back({vertex_set, edge_sets.size()});

@@ -50,7 +50,8 @@ std::vector<SeededGraph> TestGraphs() {
 
 // Clique motifs exercise the parallel clique kernels; the stars and the
 // 4-cycle take the appendix-D closed forms; c3-star and basket force the
-// generic embedding enumerator.
+// generic plan-compiled engine (and, in the parallel stacks, the generic
+// rank-masked peel kernel).
 const char* const kMotifs[] = {"triangle", "4-clique", "2-star",
                                "3-star",   "diamond",  "c3-star", "basket"};
 
@@ -155,14 +156,48 @@ TEST(DifferentialDecomposeTest, AllStacksMatchSequentialDecomposition) {
   }
 }
 
+TEST(DifferentialDecomposeTest, GenericPeelBatchDecompositionMatchesSequential) {
+  // Focused companion to AllStacksMatchSequentialDecomposition for the
+  // generic rank-masked peel kernel: a community graph whose lowest-degree
+  // brackets are large, so the non-closed-form motifs genuinely shard
+  // through ParallelPatternPeelBatch (WorthParallelGenericPeel holds)
+  // instead of merely passing because the brackets stayed sequential.
+  const Graph graph =
+      gen::PowerLawWithCommunities(240, 3, 10, 10, 0.85, 0x9E1D);
+  for (const char* motif : {"c3-star", "basket"}) {
+    SCOPED_TRACE(std::string("motif=") + motif);
+    std::unique_ptr<MotifOracle> baseline_oracle = MustMakeOracle(motif, 1, false);
+    const MotifCoreDecomposition baseline =
+        MotifCoreDecompose(graph, *baseline_oracle);
+    for (unsigned threads : kThreadCounts) {
+      for (bool cache : {false, true}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) +
+                     " cache=" + std::to_string(cache));
+        std::unique_ptr<MotifOracle> oracle =
+            MustMakeOracle(motif, threads, cache);
+        ExecutionContext ctx;
+        ctx.threads = threads == 0 ? 8 : threads;
+        const MotifCoreDecomposition d = MotifCoreDecompose(graph, *oracle, ctx);
+        EXPECT_EQ(d.core, baseline.core);
+        EXPECT_EQ(d.removal_order, baseline.removal_order);
+        EXPECT_EQ(d.residual_density, baseline.residual_density);
+        EXPECT_EQ(d.best_residual_start, baseline.best_residual_start);
+        EXPECT_EQ(d.BestResidualVertices(), baseline.BestResidualVertices());
+      }
+    }
+  }
+}
+
 TEST(DifferentialDecomposeTest, DeadlineTruncationKeepsInvariants) {
   // An already-expired deadline (and one that fires mid-run) may truncate
   // the decomposition anywhere, so exact equality is not the contract —
   // the permutation and suffix invariants are: removal_order is a
   // permutation of V, densities cover only the peeled prefix, and core
-  // numbers never exceed the untruncated ones.
+  // numbers never exceed the untruncated ones. c3-star routes the brackets
+  // through the generic rank-masked kernel, locking its truncation
+  // behaviour alongside the clique and closed-form kernels'.
   const Graph graph = gen::ErdosRenyi(60, 0.15, 0x7EE7);
-  for (const char* motif : {"triangle", "2-star"}) {
+  for (const char* motif : {"triangle", "2-star", "c3-star"}) {
     SCOPED_TRACE(std::string("motif=") + motif);
     std::unique_ptr<MotifOracle> baseline_oracle =
         MustMakeOracle(motif, 1, false);

@@ -111,7 +111,7 @@ TEST_P(ParallelPatternTest, GenericDegreesAndCountMatchSequential) {
   for (VertexId v = 0; v < g.NumVertices(); v += 4) alive[v] = 0;
   for (const Pattern& pattern :
        {Pattern::C3Star(), Pattern::TwoTriangle(), Pattern::Cycle(5)}) {
-    EmbeddingEnumerator enumerator(g, pattern);
+    PatternMatcher enumerator(g, pattern);
     EXPECT_EQ(ParallelPatternDegrees(g, pattern, {}, threads),
               enumerator.Degrees({}))
         << pattern.name();
@@ -151,7 +151,7 @@ TEST(ParallelPatternStress, ManySmallShardsUnderOversubscription) {
   // chunk-locked accumulator and its own enumerator scratch at once.
   Graph g = gen::PowerLawWithCommunities(600, 3, 12, 8, 0.8, 0xC0FFEE);
   const Pattern pattern = Pattern::C3Star();
-  EmbeddingEnumerator enumerator(g, pattern);
+  PatternMatcher enumerator(g, pattern);
   const std::vector<uint64_t> expected_degrees = enumerator.Degrees({});
   const uint64_t expected_count = enumerator.CountInstances({});
   for (unsigned threads : {16u, 32u}) {
@@ -213,6 +213,17 @@ TEST(WorthParallelPeelTest, FloorAndRatio) {
   // O(n) per-call setup would dwarf the members' peel work.
   EXPECT_FALSE(WorthParallelPeel(100, 1000000));
   EXPECT_TRUE(WorthParallelPeel(4096, 1000000));
+}
+
+TEST(WorthParallelPeelTest, GenericRatioIsLaxer) {
+  // Same absolute floor...
+  EXPECT_FALSE(WorthParallelGenericPeel(7, 10));
+  EXPECT_TRUE(WorthParallelGenericPeel(8, 100));
+  // ...but a generic member's plan-driven peel dwarfs the O(n) setup far
+  // earlier than a clique member's neighborhood scan, so brackets the
+  // clique kernels would refuse are still worth sharding.
+  EXPECT_TRUE(WorthParallelGenericPeel(300, 1000000));
+  EXPECT_FALSE(WorthParallelGenericPeel(100, 1000000));
 }
 
 class ParallelPeelBatchTest : public ::testing::TestWithParam<unsigned> {};
@@ -301,6 +312,36 @@ TEST_P(ParallelPeelBatchTest, FourCycleBatchMatchesSequentialLoop) {
   }
 }
 
+TEST_P(ParallelPeelBatchTest, GenericPatternBatchMatchesSequentialLoop) {
+  const unsigned threads = GetParam();
+  Graph g = gen::ErdosRenyi(70, 0.12, 47);
+  std::vector<char> alive(g.NumVertices(), 1);
+  for (VertexId v = 1; v < g.NumVertices(); v += 8) alive[v] = 0;
+  const std::vector<VertexId> frontier = SampleFrontier(alive);
+  ASSERT_GE(frontier.size(), kMinParallelPeelFrontier);
+  for (const Pattern& pattern :
+       {Pattern::C3Star(), Pattern::TwoTriangle(), Pattern::Basket()}) {
+    PatternOracle oracle(pattern);
+    BatchResult sequential = RunBatch(
+        frontier, alive, [&](auto f, auto& mask, const PeelCallback& cb) {
+          return oracle.PeelBatch(g, f, {mask.data(), mask.size()}, cb,
+                                  ExecutionContext());
+        });
+    ExecutionContext ctx;
+    ctx.threads = threads == 0 ? 8 : threads;
+    const PatternPlanSet plans(pattern);
+    BatchResult parallel = RunBatch(
+        frontier, alive, [&](auto f, auto& mask, const PeelCallback& cb) {
+          return ParallelPatternPeelBatch(g, plans, f,
+                                          {mask.data(), mask.size()}, cb, ctx);
+        });
+    EXPECT_EQ(parallel.destroyed, sequential.destroyed) << pattern.name();
+    EXPECT_EQ(parallel.survivor_deltas, sequential.survivor_deltas)
+        << pattern.name();
+    EXPECT_EQ(parallel.alive_after, sequential.alive_after) << pattern.name();
+  }
+}
+
 TEST_P(ParallelPeelBatchTest, ExpiredDeadlineTruncatesToPrefix) {
   const unsigned threads = GetParam();
   Graph g = gen::ErdosRenyi(60, 0.15, 31);
@@ -314,6 +355,13 @@ TEST_P(ParallelPeelBatchTest, ExpiredDeadlineTruncatesToPrefix) {
       g, 3, frontier, {mask.data(), mask.size()},
       [](VertexId, uint64_t) {}, ctx);
   // An already-expired context processes nothing: no alive bit may change.
+  EXPECT_TRUE(destroyed.empty());
+  EXPECT_EQ(mask, alive);
+  // Same truncation contract for the generic pattern kernel.
+  const PatternPlanSet plans(Pattern::C3Star());
+  destroyed = ParallelPatternPeelBatch(g, plans, frontier,
+                                       {mask.data(), mask.size()},
+                                       [](VertexId, uint64_t) {}, ctx);
   EXPECT_TRUE(destroyed.empty());
   EXPECT_EQ(mask, alive);
 }
@@ -350,6 +398,25 @@ TEST(ParallelPeelStress, DecompositionUnderOversubscribedBrackets) {
   EXPECT_EQ(d.removal_order, star_baseline.removal_order);
 }
 
+TEST(ParallelPeelStress, GenericPeelUnderOversubscribedBrackets) {
+  // The generic rank-masked kernel under the same oversubscription regime
+  // (unit label, so the TSan job covers the shared-matcher + per-worker
+  // scratch combination): a non-closed-form motif whose brackets shard
+  // through ParallelPatternPeelBatch.
+  Graph g = gen::PowerLawWithCommunities(300, 3, 10, 10, 0.85, 0xFACADE);
+  const MotifCoreDecomposition baseline =
+      MotifCoreDecompose(g, PatternOracle(Pattern::C3Star()));
+  for (unsigned threads : {16u, 32u}) {
+    ParallelPatternOracle oracle(Pattern::C3Star());
+    ExecutionContext ctx;
+    ctx.threads = threads;
+    const MotifCoreDecomposition d = MotifCoreDecompose(g, oracle, ctx);
+    EXPECT_EQ(d.core, baseline.core) << threads;
+    EXPECT_EQ(d.removal_order, baseline.removal_order) << threads;
+    EXPECT_EQ(d.residual_density, baseline.residual_density) << threads;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Hub-root splitting: skewed graphs must still match the sequential
 // enumerator exactly, and a root's candidate-loop slices must partition its
@@ -368,7 +435,7 @@ TEST(ParallelPatternHubSplit, SkewGraphParity) {
   for (VertexId v = 3; v < n; v += 11) alive[v] = 0;
   for (const Pattern& pattern :
        {Pattern::TwoStar(), Pattern::C3Star(), Pattern::Cycle(4)}) {
-    EmbeddingEnumerator enumerator(g, pattern);
+    PatternMatcher enumerator(g, pattern);
     const std::vector<uint64_t> expected = enumerator.Degrees(alive);
     const uint64_t expected_count = enumerator.CountInstances(alive);
     for (unsigned threads : {2u, 4u, 16u}) {
@@ -384,21 +451,21 @@ TEST(ParallelPatternHubSplit, SkewGraphParity) {
 TEST(ParallelPatternHubSplit, RootSlicesPartitionEmbeddings) {
   Graph g = gen::BarabasiAlbert(60, 5, 3);
   const Pattern pattern = Pattern::C3Star();
-  EmbeddingEnumerator enumerator(g, pattern);
+  PatternMatcher enumerator(g, pattern);
   // Pick the max-degree vertex as the hub root.
   VertexId root = 0;
   for (VertexId v = 1; v < g.NumVertices(); ++v) {
     if (g.Degree(v) > g.Degree(root)) root = v;
   }
-  EmbeddingEnumerator::Scratch scratch = enumerator.MakeScratch();
+  PatternMatcher::Scratch scratch = enumerator.MakeScratch();
   uint64_t full = 0;
-  enumerator.EnumerateFromRoot(root, {}, scratch,
+  enumerator.MatchFromRoot(root, {}, scratch,
                                [&](std::span<const VertexId>) { ++full; });
   ASSERT_GT(full, 0u);
   for (unsigned slices : {2u, 3u, 7u}) {
     uint64_t sliced_total = 0;
     for (unsigned s = 0; s < slices; ++s) {
-      enumerator.EnumerateFromRoot(
+      enumerator.MatchFromRoot(
           root, {}, scratch, [&](std::span<const VertexId>) { ++sliced_total; },
           s, slices);
     }

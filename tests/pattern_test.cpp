@@ -1,9 +1,12 @@
-// Tests for pattern/: pattern vocabulary, automorphisms, embedding
-// enumeration, instance grouping, and the specialised appendix-D kernels.
+// Tests for pattern/: pattern vocabulary, automorphisms, the plan-compiled
+// symmetry-broken matcher (instances and embeddings semantics), instance
+// grouping, and the specialised appendix-D kernels.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <map>
+#include <set>
 #include <utility>
 
 #include "graph/builder.h"
@@ -77,22 +80,22 @@ Graph K(int n) {
   return b.Build();
 }
 
-TEST(EmbeddingEnumerator, TriangleInK4) {
+TEST(PatternMatcher, TriangleInK4) {
   Graph g = K(4);
-  EmbeddingEnumerator e(g, Pattern::Triangle());
+  PatternMatcher e(g, Pattern::Triangle());
   EXPECT_EQ(e.CountInstances({}), 4u);  // C(4,3)
 }
 
-TEST(EmbeddingEnumerator, DiamondIsC4NotK4MinusEdge) {
+TEST(PatternMatcher, DiamondIsC4NotK4MinusEdge) {
   // K4 contains exactly 3 four-cycles (Example 6 counts 3 diamonds in one
   // 4-vertex group) but 6 K4-minus-edge subgraphs. This pins the
   // interpretation down.
   Graph g = K(4);
-  EmbeddingEnumerator e(g, Pattern::Diamond());
+  PatternMatcher e(g, Pattern::Diamond());
   EXPECT_EQ(e.CountInstances({}), 3u);
 }
 
-TEST(EmbeddingEnumerator, PaperExample6Groups) {
+TEST(PatternMatcher, PaperExample6Groups) {
   // Figure 6(a): A=0,B=1,C=2,D=3,E=4,F=5,G=6,H=7.
   // Square ABCD (A-B, B-C, C-D, D-A) plus K4-ish block on A,D,E,F and
   // pendant G, H. We reconstruct a graph with group g1 = {A,B,C,D} (1
@@ -112,7 +115,7 @@ TEST(EmbeddingEnumerator, PaperExample6Groups) {
   b.AddEdge(4, 6);  // E-G
   b.AddEdge(5, 7);  // F-H
   Graph g = b.Build();
-  EmbeddingEnumerator e(g, Pattern::Diamond());
+  PatternMatcher e(g, Pattern::Diamond());
   std::vector<InstanceGroup> groups = e.Groups({});
   ASSERT_EQ(groups.size(), 2u);
   // Groups are sorted by vertex set: {A,B,C,D} then {A,D,E,F}.
@@ -122,13 +125,13 @@ TEST(EmbeddingEnumerator, PaperExample6Groups) {
   EXPECT_EQ(groups[1].multiplicity, 3u);
 }
 
-TEST(EmbeddingEnumerator, TwoStarCounts) {
+TEST(PatternMatcher, TwoStarCounts) {
   // Path 0-1-2: one 2-star centered at 1.
   GraphBuilder b;
   b.AddEdge(0, 1);
   b.AddEdge(1, 2);
   Graph g = b.Build();
-  EmbeddingEnumerator e(g, Pattern::TwoStar());
+  PatternMatcher e(g, Pattern::TwoStar());
   EXPECT_EQ(e.CountInstances({}), 1u);
   auto deg = e.Degrees({});
   EXPECT_EQ(deg[0], 1u);
@@ -136,11 +139,11 @@ TEST(EmbeddingEnumerator, TwoStarCounts) {
   EXPECT_EQ(deg[2], 1u);
 }
 
-TEST(EmbeddingEnumerator, DegreesMatchHandshake) {
+TEST(PatternMatcher, DegreesMatchHandshake) {
   Graph g = gen::ErdosRenyi(25, 0.3, 3);
   for (const Pattern& p : {Pattern::TwoStar(), Pattern::C3Star(),
                            Pattern::Diamond(), Pattern::TwoTriangle()}) {
-    EmbeddingEnumerator e(g, p);
+    PatternMatcher e(g, p);
     auto deg = e.Degrees({});
     uint64_t sum = 0;
     for (uint64_t d : deg) sum += d;
@@ -149,27 +152,33 @@ TEST(EmbeddingEnumerator, DegreesMatchHandshake) {
   }
 }
 
-TEST(EmbeddingEnumerator, EnumerateContainingCoversAllEmbeddings) {
+TEST(PatternMatcher, MatchContainingCoversAllMatches) {
   Graph g = gen::ErdosRenyi(18, 0.35, 11);
   Pattern p = Pattern::C3Star();
-  EmbeddingEnumerator e(g, p);
-  uint64_t total = 0;
-  e.EnumerateAll({}, [&total](std::span<const VertexId>) { ++total; });
-  uint64_t by_vertex = 0;
-  for (VertexId v = 0; v < g.NumVertices(); ++v) {
-    e.EnumerateContaining(v, {},
-                          [&by_vertex](std::span<const VertexId>) {
-                            ++by_vertex;
-                          });
+  // Each match has |V_psi| members and is found once per member, under
+  // either semantics: the rooted plans pin v to every pattern position, and
+  // (for kInstances) the symmetry conditions keep the positions disjoint.
+  for (MatchSemantics semantics :
+       {MatchSemantics::kInstances, MatchSemantics::kEmbeddings}) {
+    PatternMatcher e(g, p, semantics);
+    uint64_t total = 0;
+    e.MatchAll({}, [&total](std::span<const VertexId>) { ++total; });
+    PatternMatcher::Scratch scratch = e.MakeScratch();
+    uint64_t by_vertex = 0;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      e.MatchContaining(v, {}, scratch,
+                        [&by_vertex](std::span<const VertexId>) {
+                          ++by_vertex;
+                        });
+    }
+    EXPECT_EQ(by_vertex, static_cast<uint64_t>(p.size()) * total);
   }
-  // Each embedding has |V_psi| vertices, so it is found once per member.
-  EXPECT_EQ(by_vertex, static_cast<uint64_t>(p.size()) * total);
 }
 
-TEST(EmbeddingEnumerator, AliveMaskRestricts) {
+TEST(PatternMatcher, AliveMaskRestricts) {
   Graph g = K(5);
   std::vector<char> alive(5, 1);
-  EmbeddingEnumerator e(g, Pattern::Triangle());
+  PatternMatcher e(g, Pattern::Triangle());
   EXPECT_EQ(e.CountInstances(alive), 10u);
   alive[0] = 0;
   EXPECT_EQ(e.CountInstances(alive), 4u);  // C(4,3)
@@ -177,10 +186,10 @@ TEST(EmbeddingEnumerator, AliveMaskRestricts) {
   EXPECT_EQ(e.CountInstances(alive), 1u);
 }
 
-TEST(EmbeddingEnumerator, CliquePatternMatchesCliqueSemantics) {
+TEST(PatternMatcher, CliquePatternMatchesCliqueSemantics) {
   Graph g = gen::ErdosRenyi(20, 0.4, 13);
   for (int h = 2; h <= 4; ++h) {
-    EmbeddingEnumerator e(g, Pattern::Clique(h));
+    PatternMatcher e(g, Pattern::Clique(h));
     // Instance = edge-set-distinct subgraph; for cliques that is one per
     // vertex subset.
     std::vector<InstanceGroup> groups = e.Groups({});
@@ -196,7 +205,7 @@ class SpecialKernelTest : public ::testing::TestWithParam<int> {};
 TEST_P(SpecialKernelTest, StarDegreesMatchGeneric) {
   Graph g = gen::ErdosRenyi(30, 0.15, GetParam());
   for (int x = 2; x <= 4; ++x) {
-    EmbeddingEnumerator e(g, Pattern::Star(x));
+    PatternMatcher e(g, Pattern::Star(x));
     EXPECT_EQ(StarDegrees(g, x, {}), e.Degrees({})) << "x=" << x;
     EXPECT_EQ(StarCount(g, x, {}), e.CountInstances({})) << "x=" << x;
   }
@@ -204,7 +213,7 @@ TEST_P(SpecialKernelTest, StarDegreesMatchGeneric) {
 
 TEST_P(SpecialKernelTest, FourCycleDegreesMatchGeneric) {
   Graph g = gen::ErdosRenyi(26, 0.25, GetParam() + 100);
-  EmbeddingEnumerator e(g, Pattern::Diamond());
+  PatternMatcher e(g, Pattern::Diamond());
   EXPECT_EQ(FourCycleDegrees(g, {}), e.Degrees({}));
   EXPECT_EQ(FourCycleCount(g, {}), e.CountInstances({}));
 }
@@ -213,22 +222,26 @@ TEST_P(SpecialKernelTest, KernelsRespectAliveMask) {
   Graph g = gen::ErdosRenyi(24, 0.3, GetParam() + 200);
   std::vector<char> alive(g.NumVertices(), 1);
   for (VertexId v = 0; v < g.NumVertices(); v += 3) alive[v] = 0;
-  EmbeddingEnumerator star(g, Pattern::TwoStar());
+  PatternMatcher star(g, Pattern::TwoStar());
   EXPECT_EQ(StarDegrees(g, 2, alive), star.Degrees(alive));
-  EmbeddingEnumerator cyc(g, Pattern::Diamond());
+  PatternMatcher cyc(g, Pattern::Diamond());
   EXPECT_EQ(FourCycleDegrees(g, alive), cyc.Degrees(alive));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SpecialKernelTest, ::testing::Range(0, 10));
 
-// Reference peel via the generic embedding engine: hits / |Aut|.
+// Reference peel via the embedding-semantics engine: hits / |Aut|. Kept on
+// kEmbeddings deliberately so the specialised kernels (and, transitively,
+// the symmetry-broken instance engine) are checked against an independent
+// formulation.
 std::pair<uint64_t, std::map<VertexId, uint64_t>> GenericPeel(
     const Graph& g, const Pattern& p, VertexId v,
     std::span<const char> alive) {
-  EmbeddingEnumerator e(g, p);
+  PatternMatcher e(g, p, MatchSemantics::kEmbeddings);
+  PatternMatcher::Scratch scratch = e.MakeScratch();
   std::map<VertexId, uint64_t> hits;
   uint64_t embeddings = 0;
-  e.EnumerateContaining(v, alive, [&](std::span<const VertexId> image) {
+  e.MatchContaining(v, alive, scratch, [&](std::span<const VertexId> image) {
     ++embeddings;
     for (VertexId u : image) {
       if (u != v) ++hits[u];
@@ -280,6 +293,140 @@ TEST_P(SpecialPeelTest, FourCyclePeelMatchesGeneric) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SpecialPeelTest, ::testing::Range(0, 8));
+
+// --- Automorphism breaking -------------------------------------------------
+
+// Brute force over every k-subset x permutation: an instance is a distinct
+// image edge set on a subset, and every member of the subset gains one unit
+// of pattern-degree per instance. Independent of the engine entirely.
+std::pair<uint64_t, std::vector<uint64_t>> BruteForceInstances(
+    const Graph& g, const Pattern& p, std::span<const char> alive) {
+  const int k = p.size();
+  const VertexId n = g.NumVertices();
+  uint64_t total = 0;
+  std::vector<uint64_t> degrees(n, 0);
+  std::vector<VertexId> subset;
+  std::vector<int> perm(k);
+  std::set<std::vector<Edge>> edge_sets;
+  std::vector<Edge> image_edges;
+  auto count_subset = [&]() {
+    edge_sets.clear();
+    for (int i = 0; i < k; ++i) perm[i] = i;
+    do {
+      bool ok = true;
+      for (const Edge& e : p.edges()) {
+        if (!g.HasEdge(subset[perm[e.first]], subset[perm[e.second]])) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      image_edges.clear();
+      for (const Edge& e : p.edges()) {
+        image_edges.push_back(
+            NormalizeEdge(subset[perm[e.first]], subset[perm[e.second]]));
+      }
+      std::sort(image_edges.begin(), image_edges.end());
+      edge_sets.insert(image_edges);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    total += edge_sets.size();
+    for (VertexId u : subset) degrees[u] += edge_sets.size();
+  };
+  std::function<void(VertexId)> choose = [&](VertexId next) {
+    if (static_cast<int>(subset.size()) == k) {
+      count_subset();
+      return;
+    }
+    for (VertexId v = next; v < n; ++v) {
+      if (!alive.empty() && !alive[v]) continue;
+      subset.push_back(v);
+      choose(v + 1);
+      subset.pop_back();
+    }
+  };
+  choose(0);
+  return {total, degrees};
+}
+
+class AutomorphismBreakingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutomorphismBreakingTest, InstancesMatchBruteForceOnRandomGraphs) {
+  const int seed = GetParam();
+  const Graph graphs[] = {gen::ErdosRenyi(14, 0.35, seed + 1),
+                          gen::BarabasiAlbert(15, 3, seed + 50)};
+  for (const Graph& g : graphs) {
+    std::vector<char> alive(g.NumVertices(), 1);
+    for (VertexId v = 0; v < g.NumVertices(); v += 4) alive[v] = 0;
+    for (const Pattern& p :
+         {Pattern::C3Star(), Pattern::TwoTriangle(), Pattern::Diamond(),
+          Pattern::Basket(), Pattern::Cycle(5)}) {
+      PatternMatcher e(g, p);
+      auto [want_total, want_degrees] = BruteForceInstances(g, p, {});
+      EXPECT_EQ(e.CountInstances({}), want_total) << p.name();
+      EXPECT_EQ(e.Degrees({}), want_degrees) << p.name();
+      auto [want_masked, want_masked_deg] = BruteForceInstances(g, p, alive);
+      EXPECT_EQ(e.CountInstances(alive), want_masked) << p.name() << " masked";
+      EXPECT_EQ(e.Degrees(alive), want_masked_deg) << p.name() << " masked";
+    }
+  }
+}
+
+TEST_P(AutomorphismBreakingTest, CanonicalMatchesAreEmbeddingsOverAut) {
+  // The symmetry conditions must select exactly one embedding per instance:
+  // raw canonical matches x |Aut| == raw embedding matches, per vertex.
+  Graph g = gen::BarabasiAlbert(40, 4, GetParam() + 900);
+  for (const Pattern& p :
+       {Pattern::ThreeStar(), Pattern::Diamond(), Pattern::TwoTriangle(),
+        Pattern::ThreeTriangle(), Pattern::Basket(), Pattern::Clique(4)}) {
+    PatternMatcher canonical(g, p, MatchSemantics::kInstances);
+    PatternMatcher reference(g, p, MatchSemantics::kEmbeddings);
+    EXPECT_EQ(canonical.CountInstances({}), reference.CountInstances({}))
+        << p.name();
+    EXPECT_EQ(canonical.Degrees({}), reference.Degrees({})) << p.name();
+    uint64_t canonical_raw = 0;
+    canonical.MatchAll({}, [&](std::span<const VertexId>) { ++canonical_raw; });
+    uint64_t embeddings_raw = 0;
+    reference.MatchAll({}, [&](std::span<const VertexId>) { ++embeddings_raw; });
+    EXPECT_EQ(canonical_raw * p.AutomorphismCount(), embeddings_raw)
+        << p.name();
+  }
+}
+
+TEST_P(AutomorphismBreakingTest, SpecialKernelsMatchCanonicalEngine) {
+  // Closed-form star/4-cycle paths vs the symmetry-broken generic engine
+  // (the ablation pairing the oracle factory actually switches between).
+  Graph g = gen::BarabasiAlbert(60, 3, GetParam() + 1200);
+  std::vector<char> alive(g.NumVertices(), 1);
+  for (VertexId v = 0; v < g.NumVertices(); v += 5) alive[v] = 0;
+  for (int x = 2; x <= 4; ++x) {
+    PatternMatcher e(g, Pattern::Star(x));
+    EXPECT_EQ(StarDegrees(g, x, alive), e.Degrees(alive)) << "x=" << x;
+    EXPECT_EQ(StarCount(g, x, alive), e.CountInstances(alive)) << "x=" << x;
+  }
+  PatternMatcher cyc(g, Pattern::Diamond());
+  EXPECT_EQ(FourCycleDegrees(g, alive), cyc.Degrees(alive));
+  EXPECT_EQ(FourCycleCount(g, alive), cyc.CountInstances(alive));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutomorphismBreakingTest,
+                         ::testing::Range(0, 4));
+
+TEST(PatternPlanSet, SymmetryConditionOrbitProductEqualsAut) {
+  // The conditions come from an orbit-stabilizer chain, so the product of
+  // (1 + number of conditions per pivot) over pivots equals |Aut(Psi)|.
+  for (const Pattern& p :
+       {Pattern::EdgePattern(), Pattern::Triangle(), Pattern::TwoStar(),
+        Pattern::ThreeStar(), Pattern::C3Star(), Pattern::Diamond(),
+        Pattern::TwoTriangle(), Pattern::ThreeTriangle(), Pattern::Basket(),
+        Pattern::Cycle(5), Pattern::Clique(5)}) {
+    PatternPlanSet plans(p);
+    std::map<int, uint64_t> orbit_sizes;
+    for (const auto& [a, b] : plans.SymmetryConditions()) ++orbit_sizes[a];
+    uint64_t product = 1;
+    for (const auto& [pivot, extra] : orbit_sizes) product *= 1 + extra;
+    EXPECT_EQ(product, p.AutomorphismCount()) << p.name();
+  }
+}
 
 }  // namespace
 }  // namespace dsd
