@@ -29,7 +29,21 @@ for target in "${targets[@]}"; do
     exit 1
   fi
   echo "==> $target"
-  if [[ $target == bench_threads || $target == bench_peel ]]; then
+  if [[ $target == bench_server ]]; then
+    # Server trace-replay bench: machine-readable JSON (p50/p99 latency,
+    # throughput, shed rate, cache hit rate per concurrency level). Every
+    # ok response is parity-checked in-bench BIT-IDENTICAL against a
+    # direct dsd::Solve on the same graph; a divergence means the serving
+    # path corrupted an answer — fail the whole run.
+    json="$OUT_DIR/BENCH_${target#bench_}.json"
+    if ! "$bin" "$json"; then
+      echo "FAIL: $target reported a parity violation (a served response" >&2
+      echo "differed from the direct dsd::Solve answer) or a transport" >&2
+      echo "failure; see the bench output above. Aborting." >&2
+      exit 1
+    fi
+    echo "wrote $json"
+  elif [[ $target == bench_threads || $target == bench_peel ]]; then
     # Thread-scaling / peeling-engine benches: machine-readable JSON
     # (algo x motif x graph x threads x wall time) for trend tracking.
     # Each multi-threaded row is parity-checked in-bench against its

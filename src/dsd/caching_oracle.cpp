@@ -1,5 +1,6 @@
 #include "dsd/caching_oracle.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -20,7 +21,9 @@ constexpr uint64_t kFullMaskHash = 0ull;
 
 CachingOracle::CachingOracle(std::unique_ptr<MotifOracle> inner,
                              size_t max_cached_bytes)
-    : inner_(std::move(inner)), max_cached_bytes_(max_cached_bytes) {
+    : inner_(std::move(inner)),
+      max_cached_bytes_per_shard_(
+          std::max<size_t>(max_cached_bytes / kNumShards, 1)) {
   assert(inner_ != nullptr);
 }
 
@@ -54,12 +57,13 @@ CachingOracle::Key CachingOracle::MakeKey(const Graph& graph,
   return key;
 }
 
-void CachingOracle::MaybeEvict(size_t incoming_bytes) const {
-  // Called with mutex_ held.
-  if (cached_bytes_ + incoming_bytes <= max_cached_bytes_) return;
-  degrees_.clear();
-  counts_.clear();
-  cached_bytes_ = 0;
+void CachingOracle::MaybeEvict(Shard& shard, size_t incoming_bytes) const {
+  if (shard.cached_bytes + incoming_bytes <= max_cached_bytes_per_shard_) {
+    return;
+  }
+  shard.degrees.clear();
+  shard.counts.clear();
+  shard.cached_bytes = 0;
 }
 
 namespace {
@@ -77,25 +81,26 @@ std::vector<uint64_t> CachingOracle::DegreesImpl(
     const ExecutionContext& ctx) const {
   const Key key = MakeKey(graph, alive);
   const bool full = FullPopulation(key.size_word);
+  Shard& shard = ShardFor(key);
   {
     bool found = false;
     std::vector<uint64_t> compact;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      auto it = degrees_.find(key);
-      if (it != degrees_.end()) {
-        ++stats_.degree_hits;
-        if (full) return it->second;
-        // Copy the compact entry under the lock (O(population)); expand
-        // against the query mask outside it so concurrent queries never
-        // queue behind an O(n) scatter.
+      // Copy the entry under the lock (O(population)); expansion against
+      // the query mask happens outside it so concurrent queries never
+      // queue behind an O(n) scatter.
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      auto it = shard.degrees.find(key);
+      if (it != shard.degrees.end()) {
         found = true;
         compact = it->second;
-      } else {
-        ++stats_.degree_misses;
       }
     }
+    // Counters are atomics bumped outside the shard lock: they are shared
+    // by every thread, the shard ideally by none.
     if (found) {
+      degree_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (full) return compact;  // Full-population entries store expanded.
       // Re-expand: equal key implies an equal mask, so the alive positions
       // line up with the compact entry's order.
       std::vector<uint64_t> expanded(graph.NumVertices(), 0);
@@ -105,6 +110,7 @@ std::vector<uint64_t> CachingOracle::DegreesImpl(
       }
       return expanded;
     }
+    degree_misses_.fetch_add(1, std::memory_order_relaxed);
   }
   // Compute outside the lock: a concurrent identical miss wastes work but
   // never blocks unrelated queries behind an expensive enumeration.
@@ -121,11 +127,11 @@ std::vector<uint64_t> CachingOracle::DegreesImpl(
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(shard.mutex);
     const size_t bytes = stored.size() * sizeof(uint64_t);
-    MaybeEvict(bytes);
-    if (degrees_.emplace(key, std::move(stored)).second) {
-      cached_bytes_ += bytes;
+    MaybeEvict(shard, bytes);
+    if (shard.degrees.emplace(key, std::move(stored)).second) {
+      shard.cached_bytes += bytes;
     }
   }
   return degrees;
@@ -135,20 +141,31 @@ uint64_t CachingOracle::CountInstancesImpl(const Graph& graph,
                                            std::span<const char> alive,
                                            const ExecutionContext& ctx) const {
   const Key key = MakeKey(graph, alive);
+  Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = counts_.find(key);
-    if (it != counts_.end()) {
-      ++stats_.count_hits;
-      return it->second;
+    bool found = false;
+    uint64_t cached = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      auto it = shard.counts.find(key);
+      if (it != shard.counts.end()) {
+        found = true;
+        cached = it->second;
+      }
     }
-    ++stats_.count_misses;
+    if (found) {
+      count_hits_.fetch_add(1, std::memory_order_relaxed);
+      return cached;
+    }
+    count_misses_.fetch_add(1, std::memory_order_relaxed);
   }
   const uint64_t count = inner_->CountInstances(graph, alive, ctx);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    MaybeEvict(sizeof(uint64_t));
-    if (counts_.emplace(key, count).second) cached_bytes_ += sizeof(uint64_t);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    MaybeEvict(shard, sizeof(uint64_t));
+    if (shard.counts.emplace(key, count).second) {
+      shard.cached_bytes += sizeof(uint64_t);
+    }
   }
   return count;
 }
@@ -180,13 +197,19 @@ std::vector<uint64_t> CachingOracle::CoreNumberUpperBounds(
 }
 
 CachingOracle::CacheStats CachingOracle::cache_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  CacheStats stats;
+  stats.degree_hits = degree_hits_.load(std::memory_order_relaxed);
+  stats.degree_misses = degree_misses_.load(std::memory_order_relaxed);
+  stats.count_hits = count_hits_.load(std::memory_order_relaxed);
+  stats.count_misses = count_misses_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void CachingOracle::ResetCacheStats() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_ = CacheStats();
+  degree_hits_.store(0, std::memory_order_relaxed);
+  degree_misses_.store(0, std::memory_order_relaxed);
+  count_hits_.store(0, std::memory_order_relaxed);
+  count_misses_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace dsd

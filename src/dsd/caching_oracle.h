@@ -19,6 +19,8 @@
 #ifndef DSD_DSD_CACHING_ORACLE_H_
 #define DSD_DSD_CACHING_ORACLE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -31,10 +33,14 @@
 
 namespace dsd {
 
-/// Memoizing MotifOracle decorator. Owns the wrapped oracle. Thread-safe:
-/// the cache is mutex-guarded so one instance may serve concurrent solves
-/// (the hit path holds the lock only for the lookup/copy, never during the
-/// wrapped computation).
+/// Memoizing MotifOracle decorator. Owns the wrapped oracle. Thread-safe
+/// and built for sharing: dsd_server keeps ONE instance per resident graph
+/// and routes every concurrent request on that graph through it, so the
+/// memo is sharded — entries hash-partition across independently locked
+/// shards, concurrent readers of different keys never contend, and the
+/// hit/miss counters are lock-free atomics bumped outside any shard lock.
+/// A shard's lock is held only for the lookup/copy or insertion, never
+/// during the wrapped computation.
 class CachingOracle : public MotifOracle {
  public:
   /// Hit/miss counters, per query kind (for tests and instrumentation).
@@ -46,9 +52,10 @@ class CachingOracle : public MotifOracle {
   };
 
   /// Wraps `inner` (must not be null). `max_cached_bytes` bounds the memory
-  /// held in memoized degree vectors; when an insertion would exceed it the
-  /// cache is cleared first (simple, and the working set of one solve —
-  /// a handful of shrinking cores — fits far below the default).
+  /// held in memoized degree vectors; the budget is split evenly across the
+  /// shards, and when an insertion would exceed a shard's slice that shard
+  /// is cleared first (simple, and the working set of one solve — a handful
+  /// of shrinking cores — fits far below the default).
   explicit CachingOracle(std::unique_ptr<MotifOracle> inner,
                          size_t max_cached_bytes = size_t{64} << 20);
   ~CachingOracle() override;
@@ -111,21 +118,43 @@ class CachingOracle : public MotifOracle {
 
   static Key MakeKey(const Graph& graph, std::span<const char> alive);
 
-  void MaybeEvict(size_t incoming_bytes) const;
+  /// Hash-partitioned slice of the memo. Each shard has its own lock and
+  /// byte budget, so concurrent requests touching different cores (almost
+  /// always different keys) proceed without contending. Memoized degree
+  /// vectors for masked queries are stored compact (alive vertices' values
+  /// in vertex order — the dead entries are zeros by the oracle contract)
+  /// and re-expanded against the query mask on a hit, so a shrinking-core
+  /// peel does not fill the byte budget with n-sized vectors of mostly
+  /// zeros.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, std::vector<uint64_t>, KeyHash> degrees;
+    std::unordered_map<Key, uint64_t, KeyHash> counts;
+    size_t cached_bytes = 0;
+  };
+  static constexpr size_t kNumShards = 8;
+
+  Shard& ShardFor(const Key& key) const {
+    // The low bits feed the unordered_map buckets; take high bits here so
+    // shard choice and in-shard bucketing stay independent.
+    return shards_[(KeyHash()(key) >> 57) % kNumShards];
+  }
+
+  /// Called with `shard.mutex` held: clears the shard if admitting
+  /// `incoming_bytes` would overflow its slice of the byte budget.
+  void MaybeEvict(Shard& shard, size_t incoming_bytes) const;
 
   std::unique_ptr<MotifOracle> inner_;
-  size_t max_cached_bytes_;
+  size_t max_cached_bytes_per_shard_;
 
-  mutable std::mutex mutex_;
-  // Memoized degree vectors. Entries for masked queries are stored compact
-  // (alive vertices' values in vertex order — the dead entries are zeros by
-  // the oracle contract) and re-expanded against the query mask on a hit,
-  // so a shrinking-core peel does not fill the byte budget with n-sized
-  // vectors of mostly zeros.
-  mutable std::unordered_map<Key, std::vector<uint64_t>, KeyHash> degrees_;
-  mutable std::unordered_map<Key, uint64_t, KeyHash> counts_;
-  mutable size_t cached_bytes_ = 0;
-  mutable CacheStats stats_;
+  mutable std::array<Shard, kNumShards> shards_;
+  // Lock-free counters (relaxed: they order nothing, they only count).
+  // Snapshots via cache_stats() are per-counter consistent, not mutually —
+  // good enough for hit-rate reporting and tests that quiesce first.
+  mutable std::atomic<uint64_t> degree_hits_{0};
+  mutable std::atomic<uint64_t> degree_misses_{0};
+  mutable std::atomic<uint64_t> count_hits_{0};
+  mutable std::atomic<uint64_t> count_misses_{0};
 };
 
 }  // namespace dsd

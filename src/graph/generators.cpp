@@ -214,4 +214,12 @@ Graph PlantedClique(VertexId n_background, double p_background,
   return builder.Build();
 }
 
+Graph ServerReplayGraph(uint64_t seed) {
+  return PowerLawWithCommunities(kServerReplayVertices,
+                                 /*edges_per_vertex=*/2,
+                                 /*num_communities=*/48,
+                                 /*community_size=*/24,
+                                 /*intra_p=*/0.85, seed);
+}
+
 }  // namespace dsd::gen

@@ -53,6 +53,21 @@ Graph PowerLawWithCommunities(VertexId n, VertexId edges_per_vertex,
 Graph PlantedClique(VertexId n_background, double p_background,
                     VertexId clique_size, uint64_t seed);
 
+/// Number of vertices in ServerReplayGraph. Kept >= 10^5 by contract: the
+/// server replay bench measures latency percentiles on this graph, and
+/// percentiles measured on toy graphs say nothing about production scale.
+inline constexpr VertexId kServerReplayVertices = 100000;
+
+/// Fixed-seed power-law preset for the dsd_server trace-replay bench (and
+/// the first rung of the ROADMAP dataset-harness ladder): a 10^5-vertex
+/// Barabasi-Albert backbone with 48 planted near-clique communities of 24
+/// vertices, so peel/at-least/query traffic has hub-skewed degrees AND
+/// non-trivial dense cores to find. Bit-reproducible everywhere (Rng is
+/// seed-stable by design); every caller passing the default seed gets the
+/// identical graph, which is what makes replayed latency runs comparable
+/// across hosts and commits.
+Graph ServerReplayGraph(uint64_t seed = 0xD5D5EED5ULL);
+
 }  // namespace dsd::gen
 
 #endif  // DSD_GRAPH_GENERATORS_H_

@@ -1,0 +1,123 @@
+#include "server/executor.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "parallel/parallel_for.h"
+
+namespace dsd::server {
+
+namespace {
+
+unsigned ResolveWorkers(unsigned requested, unsigned hardware) {
+  if (requested > 0) return requested;
+  return std::max(1u, std::min(hardware, 4u));
+}
+
+}  // namespace
+
+ServerExecutor::ServerExecutor(Options options)
+    : hardware_threads_(ResolveThreadCount(options.hardware_threads)),
+      max_queue_(options.max_queue) {
+  const unsigned workers =
+      ResolveWorkers(options.workers, hardware_threads_);
+  pool_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ServerExecutor::~ServerExecutor() { Drain(); }
+
+Status ServerExecutor::Submit(Job job, double estimated_seconds,
+                              double deadline_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (draining_) {
+    return Status::ResourceExhausted("server is draining for shutdown");
+  }
+  if (queue_.size() >= max_queue_) {
+    return Status::ResourceExhausted(
+        "queue full (" + std::to_string(queue_.size()) + " waiting)");
+  }
+  if (estimated_seconds > 0.0 && deadline_seconds > 0.0) {
+    // Conservative FIFO wait prediction: this job runs after everything
+    // queued ahead of it, each costing about one estimate. If that alone
+    // blows the request's own budget, running it would only convert a
+    // cheap refusal into an expensive DeadlineExceeded.
+    const double predicted =
+        static_cast<double>(queue_.size() + 1) * estimated_seconds;
+    if (predicted > deadline_seconds) {
+      return Status::ResourceExhausted(
+          "predicted wait " + std::to_string(predicted) + "s (" +
+          std::to_string(queue_.size()) + " queued x " +
+          std::to_string(estimated_seconds) + "s estimated) exceeds the " +
+          std::to_string(deadline_seconds) + "s deadline budget");
+    }
+  }
+  queue_.push_back(std::move(job));
+  work_available_.notify_one();
+  return Status::Ok();
+}
+
+void ServerExecutor::WorkerLoop() {
+  for (;;) {
+    Job job;
+    unsigned budget;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this]() { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining_ and nothing left to run
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+      // The partition grant: this job plus everything already executing
+      // split the hardware evenly. Computed at start time, so once the
+      // queue drains the next arrival sees running_ == 1 and re-expands
+      // to the full budget.
+      budget = std::max(1u, hardware_threads_ / running_);
+    }
+    job(budget);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      if (running_ == 0 && queue_.empty()) idle_.notify_all();
+    }
+  }
+}
+
+void ServerExecutor::BeginDrain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = true;
+  work_available_.notify_all();
+}
+
+void ServerExecutor::Drain() {
+  BeginDrain();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock,
+               [this]() { return running_ == 0 && queue_.empty(); });
+  }
+  for (std::thread& worker : pool_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+bool ServerExecutor::Draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+size_t ServerExecutor::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+unsigned ServerExecutor::Running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+}  // namespace dsd::server

@@ -1,0 +1,106 @@
+// ServerExecutor: the thread pool that runs SolveRequests for dsd_server,
+// with two properties a naive pool lacks.
+//
+// 1. Budget partitioning. Handing every in-flight request threads=N
+//    oversubscribes the machine N-fold the moment two requests overlap.
+//    Instead the executor owns the hardware budget and PARTITIONS it: when
+//    a job starts it is granted max(1, hardware / running) workers, where
+//    `running` counts the jobs executing at that instant — so a lone
+//    request spends the whole machine, concurrent requests split it, and
+//    budgets re-expand automatically as the queue drains (the next job to
+//    start after the rush sees a smaller `running` and a bigger grant).
+//
+// 2. Admission control. A request that cannot meet its deadline anyway is
+//    cheaper to refuse at the door than to run and throw away: Submit
+//    sheds with ResourceExhausted when the queue is full, when the
+//    predicted wait — (queued + 1) x the caller's cost estimate — already
+//    exceeds the request's own deadline budget, or when the executor is
+//    draining for shutdown. Shedding is an admission decision, hence
+//    ResourceExhausted, distinct from DeadlineExceeded (which is reserved
+//    for work that ran and lost the race).
+#ifndef DSD_SERVER_EXECUTOR_H_
+#define DSD_SERVER_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dsd::server {
+
+class ServerExecutor {
+ public:
+  struct Options {
+    /// Hardware worker budget partitioned across in-flight jobs
+    /// (0 = hardware concurrency).
+    unsigned hardware_threads = 0;
+
+    /// Pool size: how many jobs may execute concurrently. 0 = auto
+    /// (min(hardware_threads, 4) — more lanes than that just slices the
+    /// thread budget thinner without improving tail latency).
+    unsigned workers = 0;
+
+    /// Queue bound; a Submit that finds this many jobs waiting sheds.
+    size_t max_queue = 64;
+  };
+
+  /// A unit of work; invoked with the thread budget granted to it.
+  using Job = std::function<void(unsigned thread_budget)>;
+
+  explicit ServerExecutor(Options options);
+
+  /// Drains: refuses new work, runs the queue dry, joins the pool.
+  ~ServerExecutor();
+
+  /// Enqueues `job` or sheds it. `estimated_seconds` is the caller's cost
+  /// estimate for this job (0 = unknown, disables the deadline check);
+  /// `deadline_seconds` is the request's own time budget (0 = none).
+  /// Returns Ok (the job WILL run, exactly once) or ResourceExhausted
+  /// (the job will never run).
+  Status Submit(Job job, double estimated_seconds = 0.0,
+                double deadline_seconds = 0.0);
+
+  /// Stops admitting, waits until every admitted job has finished, joins
+  /// the workers. Idempotent; the destructor calls it.
+  void Drain();
+
+  /// True once Drain (or BeginDrain) has been entered: new Submits shed.
+  bool Draining() const;
+
+  /// Flips the refuse-new-work bit without blocking (SIGTERM handlers and
+  /// transports call this, then Drain from a regular thread).
+  void BeginDrain();
+
+  /// Jobs admitted but not yet started (for tests and stats).
+  size_t QueueDepth() const;
+
+  /// Jobs executing right now (for tests and stats).
+  unsigned Running() const;
+
+  unsigned hardware_threads() const { return hardware_threads_; }
+  unsigned workers() const { return static_cast<unsigned>(pool_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  const unsigned hardware_threads_;
+  const size_t max_queue_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<Job> queue_;
+  unsigned running_ = 0;
+  bool draining_ = false;
+
+  std::vector<std::thread> pool_;
+};
+
+}  // namespace dsd::server
+
+#endif  // DSD_SERVER_EXECUTOR_H_

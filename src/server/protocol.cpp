@@ -1,0 +1,384 @@
+#include "server/protocol.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace dsd::server {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001B3ull;
+
+bool ParseUint64(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  std::string owned(text);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(owned.c_str(), &end);
+  if (errno != 0 || end != owned.c_str() + owned.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseIdList(std::string_view text, std::vector<VertexId>* out) {
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    uint64_t id = 0;
+    if (!ParseUint64(text.substr(pos, comma - pos), &id) ||
+        id > std::numeric_limits<VertexId>::max()) {
+      return false;
+    }
+    out->push_back(static_cast<VertexId>(id));
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+/// Splits "key=value" (first '=' wins; the value may be empty).
+bool SplitField(std::string_view token, std::string_view* key,
+                std::string_view* value) {
+  const size_t eq = token.find('=');
+  if (eq == std::string_view::npos || eq == 0) return false;
+  *key = token.substr(0, eq);
+  *value = token.substr(eq + 1);
+  return true;
+}
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("malformed request: " + what);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Framing
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  char prefix[32];
+  const int prefix_len =
+      std::snprintf(prefix, sizeof(prefix), "%zu\n", payload.size());
+  std::string frame;
+  frame.reserve(static_cast<size_t>(prefix_len) + payload.size());
+  frame.append(prefix, static_cast<size_t>(prefix_len));
+  frame.append(payload);
+  size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n =
+        ::write(fd, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write: ") + std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+bool FrameReader::Fill(std::string* error) {
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buf_.append(chunk, static_cast<size_t>(n));
+      return true;
+    }
+    if (n == 0) return false;  // EOF
+    if (errno == EINTR) continue;
+    if (error != nullptr) {
+      *error = std::string("read: ") + std::strerror(errno);
+    }
+    return false;
+  }
+}
+
+int FrameReader::Next(std::string* payload, std::string* error) {
+  std::string fill_error;
+  // 1. The length line.
+  size_t newline;
+  while ((newline = buf_.find('\n', pos_)) == std::string::npos) {
+    if (buf_.size() - pos_ > 32) {
+      if (error != nullptr) *error = "length prefix too long";
+      return -1;
+    }
+    if (!Fill(&fill_error)) {
+      if (!fill_error.empty()) {
+        if (error != nullptr) *error = fill_error;
+        return -1;
+      }
+      if (pos_ != buf_.size()) {
+        if (error != nullptr) *error = "eof inside a frame";
+        return -1;
+      }
+      return 0;  // clean EOF at a frame boundary
+    }
+  }
+  uint64_t length = 0;
+  if (!ParseUint64(
+          std::string_view(buf_).substr(pos_, newline - pos_), &length) ||
+      length > kMaxFramePayloadBytes) {
+    if (error != nullptr) *error = "bad length prefix";
+    return -1;
+  }
+  pos_ = newline + 1;
+  // 2. The payload bytes.
+  while (buf_.size() - pos_ < length) {
+    if (!Fill(&fill_error)) {
+      if (error != nullptr) {
+        *error = fill_error.empty() ? "eof inside a frame" : fill_error;
+      }
+      return -1;
+    }
+  }
+  payload->assign(buf_, pos_, length);
+  pos_ += length;
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection does not grow the buffer without bound.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return 1;
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+
+StatusOr<WireRequest> ParseWireRequest(const std::string& payload) {
+  // Tokenize on single spaces. The error-message exception (err msg=...)
+  // only exists on the response side; request values never contain spaces.
+  std::vector<std::string_view> tokens;
+  const std::string_view text(payload);
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t space = text.find(' ', pos);
+    if (space == std::string_view::npos) space = text.size();
+    if (space > pos) tokens.push_back(text.substr(pos, space - pos));
+    pos = space + 1;
+  }
+  if (tokens.empty()) return Malformed("empty payload");
+
+  WireRequest request;
+  const std::string_view verb = tokens[0];
+  if (verb == "solve") {
+    request.verb = WireRequest::Verb::kSolve;
+  } else if (verb == "load") {
+    request.verb = WireRequest::Verb::kLoad;
+  } else if (verb == "stats") {
+    request.verb = WireRequest::Verb::kStats;
+  } else if (verb == "list") {
+    request.verb = WireRequest::Verb::kList;
+  } else if (verb == "ping") {
+    request.verb = WireRequest::Verb::kPing;
+  } else if (verb == "shutdown") {
+    request.verb = WireRequest::Verb::kShutdown;
+  } else {
+    return Malformed("unknown verb '" + std::string(verb) + "'");
+  }
+
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    std::string_view key, value;
+    if (!SplitField(tokens[i], &key, &value)) {
+      return Malformed("expected key=value, got '" + std::string(tokens[i]) +
+                       "'");
+    }
+    uint64_t uint_value = 0;
+    double double_value = 0.0;
+    if (key == "id") {
+      if (!ParseUint64(value, &uint_value)) return Malformed("bad id");
+      request.id = uint_value;
+    } else if (key == "graph" &&
+               request.verb == WireRequest::Verb::kSolve) {
+      request.graph = std::string(value);
+    } else if (key == "algo" && request.verb == WireRequest::Verb::kSolve) {
+      request.solve.algorithm = std::string(value);
+    } else if (key == "motif" &&
+               request.verb == WireRequest::Verb::kSolve) {
+      request.solve.motif = std::string(value);
+    } else if (key == "threads" &&
+               request.verb == WireRequest::Verb::kSolve) {
+      if (!ParseUint64(value, &uint_value) || uint_value > UINT32_MAX) {
+        return Malformed("bad threads");
+      }
+      request.solve.threads = static_cast<unsigned>(uint_value);
+    } else if (key == "budget" &&
+               request.verb == WireRequest::Verb::kSolve) {
+      if (!ParseDouble(value, &double_value)) return Malformed("bad budget");
+      request.solve.time_budget_seconds = double_value;
+    } else if (key == "min_size" &&
+               request.verb == WireRequest::Verb::kSolve) {
+      if (!ParseUint64(value, &uint_value) ||
+          uint_value > std::numeric_limits<VertexId>::max()) {
+        return Malformed("bad min_size");
+      }
+      request.solve.min_size = static_cast<VertexId>(uint_value);
+    } else if (key == "eps" && request.verb == WireRequest::Verb::kSolve) {
+      if (!ParseDouble(value, &double_value)) return Malformed("bad eps");
+      request.solve.eps = double_value;
+    } else if (key == "seeds" &&
+               request.verb == WireRequest::Verb::kSolve) {
+      if (!ParseIdList(value, &request.solve.seeds)) {
+        return Malformed("bad seeds");
+      }
+    } else if (key == "members" &&
+               request.verb == WireRequest::Verb::kSolve) {
+      request.want_members = value == "1";
+    } else if (key == "name" && request.verb == WireRequest::Verb::kLoad) {
+      request.load_name = std::string(value);
+    } else if (key == "preset" &&
+               request.verb == WireRequest::Verb::kLoad) {
+      request.load_preset = std::string(value);
+    } else if (key == "file" && request.verb == WireRequest::Verb::kLoad) {
+      request.load_file = std::string(value);
+    } else if (key == "seed" && request.verb == WireRequest::Verb::kLoad) {
+      if (!ParseUint64(value, &uint_value)) return Malformed("bad seed");
+      request.load_seed = uint_value;
+      request.has_load_seed = true;
+    } else {
+      return Malformed("unknown key '" + std::string(key) + "' for verb '" +
+                       std::string(verb) + "'");
+    }
+  }
+
+  if (request.verb == WireRequest::Verb::kSolve && request.graph.empty()) {
+    return Malformed("solve requires graph=");
+  }
+  if (request.verb == WireRequest::Verb::kLoad) {
+    if (request.load_name.empty()) return Malformed("load requires name=");
+    if (request.load_preset.empty() == request.load_file.empty()) {
+      return Malformed("load requires exactly one of preset= or file=");
+    }
+  }
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+
+uint64_t MembersHash(std::span<const VertexId> members) {
+  uint64_t h = kFnvOffset;
+  for (VertexId v : members) h = (h ^ v) * kFnvPrime;
+  return h;
+}
+
+std::string FormatSolveOk(uint64_t id, const SolveResponse& response,
+                          bool include_members) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "ok id=%llu wall=%.6f threads=%u density=%.17g "
+                "instances=%llu vertices=%zu members_hash=%llx",
+                static_cast<unsigned long long>(id),
+                response.stats.wall_seconds, response.stats.threads,
+                response.result.density,
+                static_cast<unsigned long long>(response.result.instances),
+                response.result.vertices.size(),
+                static_cast<unsigned long long>(
+                    MembersHash(response.result.vertices)));
+  std::string payload(buffer);
+  if (include_members) {
+    payload += " members=";
+    for (size_t i = 0; i < response.result.vertices.size(); ++i) {
+      if (i > 0) payload += ',';
+      payload += std::to_string(response.result.vertices[i]);
+    }
+  }
+  return payload;
+}
+
+std::string FormatError(uint64_t id, const Status& status) {
+  return "err id=" + std::to_string(id) + " code=" + status.CodeName() +
+         " msg=" + status.message();
+}
+
+bool WireResponse::GetDouble(const std::string& key, double* out) const {
+  auto it = fields.find(key);
+  return it != fields.end() && ParseDouble(it->second, out);
+}
+
+bool WireResponse::GetUint(const std::string& key, uint64_t* out) const {
+  auto it = fields.find(key);
+  if (it == fields.end()) return false;
+  // members_hash is printed in hex; everything else in decimal.
+  if (key == "members_hash") {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value =
+        std::strtoull(it->second.c_str(), &end, 16);
+    if (errno != 0 || end != it->second.c_str() + it->second.size() ||
+        it->second.empty()) {
+      return false;
+    }
+    *out = value;
+    return true;
+  }
+  return ParseUint64(it->second, out);
+}
+
+StatusOr<WireResponse> ParseWireResponse(const std::string& payload) {
+  WireResponse response;
+  std::string_view text(payload);
+  if (text.rfind("ok", 0) == 0 && (text.size() == 2 || text[2] == ' ')) {
+    response.ok = true;
+    text.remove_prefix(std::min<size_t>(3, text.size()));
+  } else if (text.rfind("err", 0) == 0 &&
+             (text.size() == 3 || text[3] == ' ')) {
+    response.ok = false;
+    text.remove_prefix(std::min<size_t>(4, text.size()));
+  } else {
+    return Status::InvalidArgument("response must start with ok or err");
+  }
+
+  size_t pos = 0;
+  while (pos < text.size()) {
+    // msg= swallows the rest of the line (error messages contain spaces);
+    // every other value ends at the next space.
+    if (text.compare(pos, 4, "msg=") == 0) {
+      response.msg = std::string(text.substr(pos + 4));
+      response.fields["msg"] = response.msg;
+      break;
+    }
+    size_t space = text.find(' ', pos);
+    if (space == std::string_view::npos) space = text.size();
+    std::string_view key, value;
+    if (!SplitField(text.substr(pos, space - pos), &key, &value)) {
+      return Status::InvalidArgument("malformed response field '" +
+                                     std::string(text.substr(pos)) + "'");
+    }
+    response.fields[std::string(key)] = std::string(value);
+    pos = space + 1;
+  }
+
+  uint64_t id = 0;
+  if (response.GetUint("id", &id)) response.id = id;
+  auto code = response.fields.find("code");
+  if (code != response.fields.end()) response.code = code->second;
+  return response;
+}
+
+}  // namespace dsd::server

@@ -39,35 +39,56 @@ class Status {
     return Status(Code::kDeadlineExceeded, std::move(message));
   }
 
+  /// The system declined to even start the operation because capacity is
+  /// spent (admission control shedding load, a full queue). Distinct from
+  /// DeadlineExceeded: that one ran and lost the race; this one was never
+  /// admitted — retrying later can succeed.
+  static Status ResourceExhausted(std::string message) {
+    return Status(Code::kResourceExhausted, std::move(message));
+  }
+
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsIoError() const { return code_ == Code::kIoError; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
 
   /// Human-readable description; empty for OK.
   const std::string& message() const { return message_; }
 
-  /// "OK" or "<kind>: <message>", for logs and test failures.
-  std::string ToString() const {
+  /// Stable machine-readable name of the code ("Ok", "InvalidArgument",
+  /// ...). The server wire protocol transports errors by this name, so the
+  /// spellings are frozen.
+  const char* CodeName() const {
     switch (code_) {
       case Code::kOk:
-        return "OK";
+        return "Ok";
       case Code::kInvalidArgument:
-        return "InvalidArgument: " + message_;
+        return "InvalidArgument";
       case Code::kIoError:
-        return "IoError: " + message_;
+        return "IoError";
       case Code::kNotFound:
-        return "NotFound: " + message_;
+        return "NotFound";
       case Code::kDeadlineExceeded:
-        return "DeadlineExceeded: " + message_;
+        return "DeadlineExceeded";
+      case Code::kResourceExhausted:
+        return "ResourceExhausted";
     }
     return "Unknown";
   }
 
+  /// "OK" or "<kind>: <message>", for logs and test failures.
+  std::string ToString() const {
+    if (code_ == Code::kOk) return "OK";
+    return std::string(CodeName()) + ": " + message_;
+  }
+
  private:
   enum class Code { kOk, kInvalidArgument, kIoError, kNotFound,
-                    kDeadlineExceeded };
+                    kDeadlineExceeded, kResourceExhausted };
 
   Status() : code_(Code::kOk) {}
   Status(Code code, std::string message)

@@ -12,7 +12,9 @@
 // cache slots (a content fingerprint would have shared them).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -221,6 +223,89 @@ TEST(CachingGenerationTest, AllAliveMaskCanonicalisesToEmptySpan) {
   CachingOracle::CacheStats stats = oracle.cache_stats();
   EXPECT_EQ(stats.count_hits, 2u);
   EXPECT_EQ(stats.count_misses, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent sharing (the dsd_server usage: one CachingOracle per resident
+// graph, hammered by every in-flight request). This suite carries the unit
+// label, so CI's TSan job races it: a data race in the sharded maps, the
+// atomic hit/miss counters, or the eviction path surfaces here.
+
+TEST(CachingConcurrencyTest, ConcurrentMixedQueriesAreRaceFreeAndCoherent) {
+  CachingOracle oracle(std::make_unique<CliqueOracle>(3));
+  CliqueOracle reference(3);
+  Graph g = gen::PlantedClique(120, 0.05, 8, 21);
+
+  // Distinct masks -> distinct keys spread across shards; repeated rounds
+  // -> guaranteed hit traffic concurrent with insertions.
+  const unsigned kThreads = 8;
+  const int kRounds = 6;
+  std::vector<std::vector<char>> masks;
+  for (unsigned m = 0; m < kThreads; ++m) {
+    std::vector<char> mask(g.NumVertices(), 1);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if ((v + m) % (m + 2) == 0) mask[v] = 0;
+    }
+    masks.push_back(std::move(mask));
+  }
+
+  std::atomic<uint64_t> checksum{0};
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (int round = 0; round < kRounds; ++round) {
+        // Each worker walks every mask, offset by its index, mixing
+        // first-miss insertions with hits on entries other workers filled,
+        // plus stats reads racing both.
+        const std::vector<char>& mask = masks[(t + round) % kThreads];
+        std::vector<uint64_t> degrees = oracle.Degrees(g, mask);
+        uint64_t count = oracle.CountInstances(g, mask);
+        checksum.fetch_add(count + degrees[0], std::memory_order_relaxed);
+        (void)oracle.cache_stats();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  // Quiesced: counters must account for every call, and every cached
+  // answer must equal the uncached reference.
+  CachingOracle::CacheStats stats = oracle.cache_stats();
+  EXPECT_EQ(stats.degree_hits + stats.degree_misses,
+            uint64_t{kThreads} * kRounds);
+  EXPECT_EQ(stats.count_hits + stats.count_misses,
+            uint64_t{kThreads} * kRounds);
+  // Each of the kThreads distinct masks misses at least once.
+  EXPECT_GE(stats.degree_misses, uint64_t{kThreads});
+  EXPECT_GE(stats.degree_hits, 1u);
+  for (const std::vector<char>& mask : masks) {
+    EXPECT_EQ(oracle.Degrees(g, mask), reference.Degrees(g, mask));
+    EXPECT_EQ(oracle.CountInstances(g, mask),
+              reference.CountInstances(g, mask));
+  }
+}
+
+TEST(CachingConcurrencyTest, ConcurrentEvictionChurnIsRaceFree) {
+  // A byte budget small enough that insertions evict constantly: the
+  // clear-then-insert path races lookups and other insertions.
+  CachingOracle oracle(std::make_unique<CliqueOracle>(3),
+                       /*max_cached_bytes=*/256);
+  Graph g = gen::PlantedClique(80, 0.05, 6, 22);
+
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t]() {
+      std::vector<char> mask(g.NumVertices(), 1);
+      for (int round = 0; round < 12; ++round) {
+        mask[(t * 13 + round) % g.NumVertices()] ^= 1;
+        std::vector<uint64_t> degrees = oracle.Degrees(g, mask);
+        ASSERT_EQ(degrees.size(), g.NumVertices());
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  CliqueOracle reference(3);
+  EXPECT_EQ(oracle.Degrees(g, {}), reference.Degrees(g, {}));
 }
 
 }  // namespace

@@ -113,5 +113,23 @@ TEST(PlantedClique, CliqueIsPresent) {
   EXPECT_GE(g.MaxDegree(), 19u);
 }
 
+TEST(ServerReplayGraph, MeetsScaleContractAndIsDeterministic) {
+  Graph g = gen::ServerReplayGraph();
+  ExpectSimple(g);
+  // The replay bench's percentile claims rest on this floor.
+  EXPECT_GE(g.NumVertices(), 100000u);
+  EXPECT_EQ(g.NumVertices(), gen::kServerReplayVertices);
+  // Power-law backbone: hubs far above the mean degree.
+  EXPECT_GE(g.MaxDegree(), 50u);
+
+  // Same default seed -> bit-identical graph (what makes replayed latency
+  // runs comparable across hosts); another seed -> different content.
+  Graph again = gen::ServerReplayGraph();
+  EXPECT_EQ(g.NumEdges(), again.NumEdges());
+  EXPECT_EQ(g.Edges(), again.Edges());
+  Graph other = gen::ServerReplayGraph(123);
+  EXPECT_NE(g.Edges(), other.Edges());
+}
+
 }  // namespace
 }  // namespace dsd

@@ -250,6 +250,20 @@ TEST(SolveValidationTest, BlownTimeBudgetIsDeadlineExceeded) {
   EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
 }
 
+TEST(SolveValidationTest, BlownBudgetIsNotResourceExhausted) {
+  // The taxonomy distinction the server's admission control relies on: a
+  // run that started and lost the race is DeadlineExceeded; only load
+  // shedding (which never runs the request) reports ResourceExhausted.
+  SolveRequest request;
+  request.algorithm = "core-exact";
+  request.motif = "triangle";
+  request.time_budget_seconds = 1e-12;
+  Status status = Solve(TestGraph(), request).status();
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  EXPECT_FALSE(status.IsResourceExhausted());
+  EXPECT_STREQ(status.CodeName(), "DeadlineExceeded");
+}
+
 TEST(SolveValidationTest, GenerousTimeBudgetSucceeds) {
   SolveRequest request;
   request.algorithm = "peel";

@@ -235,6 +235,32 @@ TEST(Status, ErrorStates) {
   EXPECT_FALSE(io.IsInvalidArgument());
 }
 
+TEST(Status, ResourceExhaustedState) {
+  Status shed = Status::ResourceExhausted("queue full");
+  EXPECT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.IsResourceExhausted());
+  // Shedding is not a deadline failure: the request never ran at all.
+  EXPECT_FALSE(shed.IsDeadlineExceeded());
+  EXPECT_EQ(shed.message(), "queue full");
+  EXPECT_EQ(shed.ToString(), "ResourceExhausted: queue full");
+
+  Status deadline = Status::DeadlineExceeded("late");
+  EXPECT_TRUE(deadline.IsDeadlineExceeded());
+  EXPECT_FALSE(deadline.IsResourceExhausted());
+}
+
+TEST(Status, CodeNamesAreStable) {
+  // The server wire protocol transports errors by CodeName; these spellings
+  // are frozen.
+  EXPECT_STREQ(Status::Ok().CodeName(), "Ok");
+  EXPECT_STREQ(Status::InvalidArgument("").CodeName(), "InvalidArgument");
+  EXPECT_STREQ(Status::IoError("").CodeName(), "IoError");
+  EXPECT_STREQ(Status::NotFound("").CodeName(), "NotFound");
+  EXPECT_STREQ(Status::DeadlineExceeded("").CodeName(), "DeadlineExceeded");
+  EXPECT_STREQ(Status::ResourceExhausted("").CodeName(),
+               "ResourceExhausted");
+}
+
 TEST(StatusOr, HoldsValue) {
   StatusOr<int> result(41);
   ASSERT_TRUE(result.ok());

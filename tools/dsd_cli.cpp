@@ -12,6 +12,12 @@
 // dsd::SolveRequest and every semantic check (unknown algorithm/motif, bad
 // eps, missing --min-size/--query, out-of-range or duplicate seeds) happens
 // in the library, which reports a Status instead of exiting.
+//
+// Exit codes map the Status taxonomy so scripts can branch without parsing
+// stderr: 0 success, 1 environment failure (IoError), 2 bad request
+// (usage, InvalidArgument, NotFound), 3 blown time budget
+// (DeadlineExceeded), 4 capacity shed (ResourceExhausted — surfaced by
+// embedders with admission control, e.g. dsd_server).
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -89,6 +95,17 @@ std::vector<VertexId> ParseIdList(const std::string& text) {
   return ids;
 }
 
+/// Status taxonomy -> process exit code (documented in the header comment
+/// and README). Usage errors share code 2 with InvalidArgument: both mean
+/// "the request was wrong", whoever caught it first.
+int ExitCodeFor(const dsd::Status& status) {
+  if (status.ok()) return 0;
+  if (status.IsIoError()) return 1;
+  if (status.IsDeadlineExceeded()) return 3;
+  if (status.IsResourceExhausted()) return 4;
+  return 2;  // InvalidArgument, NotFound: a bad request either way.
+}
+
 [[noreturn]] void ListAndExit(const std::vector<std::string>& names) {
   for (const std::string& name : names) std::printf("%s\n", name.c_str());
   std::exit(0);
@@ -153,7 +170,7 @@ int main(int argc, char** argv) {
     dsd::StatusOr<dsd::Graph> loaded = dsd::io::LoadEdgeList(options.input);
     if (!loaded.ok()) {
       std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
-      return 1;
+      return ExitCodeFor(loaded.status());
     }
     graph = std::move(loaded).value();
   }
@@ -164,7 +181,7 @@ int main(int argc, char** argv) {
       dsd::Solve(graph, options.request);
   if (!solved.ok()) {
     std::fprintf(stderr, "error: %s\n", solved.status().ToString().c_str());
-    return 2;
+    return ExitCodeFor(solved.status());
   }
   const dsd::SolveResponse& response = solved.value();
   const dsd::DensestResult& result = response.result;
