@@ -14,12 +14,15 @@
 //
 // Usage: bench_peel [output.json]   (stdout when no path is given)
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "graph/generators.h"
 #include "harness/runner.h"
+#include "storage/dataset_registry.h"
+#include "util/timer.h"
 
 namespace dsd::bench {
 namespace {
@@ -27,22 +30,29 @@ namespace {
 struct BenchGraph {
   std::string name;
   Graph graph;
+  double load_ms = 0.0;  // generation or registry-open time
   // Motifs worth timing at this graph's scale: the generic 5-vertex motif
   // row runs on its own smaller community graph, where a full basket
   // decomposition stays in bench budget while its brackets are still large
   // enough to shard through the generic rank-masked peel kernel.
   std::vector<std::string> motifs;
+  // Algorithms to run; empty means the whole peeling family. The registry
+  // graphs restrict to plain peel so the >= 10^6-edge rows stay cheap.
+  std::vector<std::string> algos;
 };
 
 struct Record {
   std::string algo;
   std::string motif;
-  std::string graph;
+  std::string dataset;
   unsigned threads_requested = 0;
   unsigned threads_effective = 0;
   double wall_seconds = 0.0;
   double density = 0.0;
-  size_t vertices = 0;
+  size_t result_vertices = 0;
+  size_t vertices = 0;  // dataset size
+  size_t edges = 0;
+  double load_ms = 0.0;
 };
 
 int Run(std::FILE* out) {
@@ -50,27 +60,70 @@ int Run(std::FILE* out) {
   // power-law community graph has huge low-degree brackets (the periphery)
   // where the parallel frontier kernels get real shards.
   std::vector<BenchGraph> graphs;
-  graphs.push_back({"demo_planted_k15", gen::PlantedClique(500, 0.01, 15, 7),
-                    {"4-clique", "3-star"}});
-  graphs.push_back(
-      {"communities_6k",
-       gen::PowerLawWithCommunities(6000, 3, 20, 12, 0.9, 0x9EE1),
-       {"4-clique", "3-star"}});
+  {
+    Timer timer;
+    Graph g = gen::PlantedClique(500, 0.01, 15, 7);
+    graphs.push_back({"demo_planted_k15", std::move(g),
+                      timer.Seconds() * 1e3, {"4-clique", "3-star"}, {}});
+  }
+  {
+    Timer timer;
+    Graph g = gen::PowerLawWithCommunities(6000, 3, 20, 12, 0.9, 0x9EE1);
+    graphs.push_back({"communities_6k", std::move(g), timer.Seconds() * 1e3,
+                      {"4-clique", "3-star"}, {}});
+  }
   // Generic-engine row: basket (5-vertex house, no closed form) exercises
   // the plan-compiled matcher and the generic parallel peel kernel.
-  graphs.push_back(
-      {"communities_1500",
-       gen::PowerLawWithCommunities(1500, 3, 14, 10, 0.9, 0xBA5CE7),
-       {"basket"}});
+  {
+    Timer timer;
+    Graph g = gen::PowerLawWithCommunities(1500, 3, 14, 10, 0.9, 0xBA5CE7);
+    graphs.push_back({"communities_1500", std::move(g),
+                      timer.Seconds() * 1e3, {"basket"}, {}});
+  }
+  // Registry-dataset rows: >= 10^6 edges, opened through the storage
+  // layer (.dsdg mmap after the first materialize). Edge-motif peel keeps
+  // the rows cheap; DSD_BENCH_SCALE=large adds the 10^7-edge rung.
+  {
+    std::vector<std::string> dataset_names = {"pl-1m"};
+    const char* scale = std::getenv("DSD_BENCH_SCALE");
+    if (scale != nullptr && std::string(scale) == "large") {
+      dataset_names.push_back("pl-10m");
+    }
+    const storage::DatasetRegistry& registry =
+        storage::GlobalDatasetRegistry();
+    for (const std::string& name : dataset_names) {
+      // Materialize (generate + cache) untimed so load_ms reports the
+      // steady-state open cost, not the one-off generation.
+      StatusOr<std::string> path = registry.Materialize(name);
+      if (!path.ok()) {
+        std::fprintf(stderr, "FAIL: dataset %s: %s\n", name.c_str(),
+                     path.status().ToString().c_str());
+        return 1;
+      }
+      Timer open_timer;
+      StatusOr<Graph> opened = registry.Open(name);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "FAIL: dataset %s: %s\n", name.c_str(),
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      graphs.push_back({name, std::move(opened).value(),
+                        open_timer.Seconds() * 1e3,
+                        {"edge"},
+                        {"peel"}});
+    }
+  }
 
   // The peeling-based algorithm family: peel and at-least decompose the
   // whole graph, core-app peels windows top-down.
-  const std::vector<std::string> algos = {"peel", "core-app", "at-least"};
+  const std::vector<std::string> default_algos = {"peel", "core-app",
+                                                  "at-least"};
   const std::vector<unsigned> thread_counts = {1, 2, 4};
 
   std::vector<Record> records;
   for (const BenchGraph& bg : graphs) {
-    for (const std::string& algo : algos) {
+    for (const std::string& algo :
+         bg.algos.empty() ? default_algos : bg.algos) {
       for (const std::string& motif : bg.motifs) {
         SolveResponse baseline;
         for (unsigned threads : thread_counts) {
@@ -94,12 +147,15 @@ int Run(std::FILE* out) {
           Record record;
           record.algo = algo;
           record.motif = motif;
-          record.graph = bg.name;
+          record.dataset = bg.name;
+          record.vertices = bg.graph.NumVertices();
+          record.edges = static_cast<size_t>(bg.graph.NumEdges());
+          record.load_ms = bg.load_ms;
           record.threads_requested = threads;
           record.threads_effective = response.stats.threads;
           record.wall_seconds = response.stats.wall_seconds;
           record.density = response.result.density;
-          record.vertices = response.result.vertices.size();
+          record.result_vertices = response.result.vertices.size();
           records.push_back(record);
           std::fprintf(stderr, "%-10s %-9s %-16s threads=%u  %.3f ms\n",
                        algo.c_str(), motif.c_str(), bg.name.c_str(), threads,
@@ -113,13 +169,16 @@ int Run(std::FILE* out) {
   for (size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
     std::fprintf(out,
-                 "    {\"algo\": \"%s\", \"motif\": \"%s\", \"graph\": \"%s\", "
+                 "    {\"algo\": \"%s\", \"motif\": \"%s\", "
+                 "\"dataset\": \"%s\", \"vertices\": %zu, \"edges\": %zu, "
+                 "\"load_ms\": %.3f, "
                  "\"threads_requested\": %u, \"threads_effective\": %u, "
                  "\"wall_seconds\": %.6f, \"density\": %.6f, "
-                 "\"vertices\": %zu}%s\n",
-                 r.algo.c_str(), r.motif.c_str(), r.graph.c_str(),
-                 r.threads_requested, r.threads_effective, r.wall_seconds,
-                 r.density, r.vertices, i + 1 < records.size() ? "," : "");
+                 "\"result_vertices\": %zu}%s\n",
+                 r.algo.c_str(), r.motif.c_str(), r.dataset.c_str(),
+                 r.vertices, r.edges, r.load_ms, r.threads_requested,
+                 r.threads_effective, r.wall_seconds, r.density,
+                 r.result_vertices, i + 1 < records.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   return 0;

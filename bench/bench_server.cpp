@@ -241,7 +241,9 @@ bool ReplayLevel(uint16_t port, int concurrency, bool overload,
 int Run(std::FILE* out) {
   std::fprintf(stderr, "building %u-vertex server-replay graph...\n",
                static_cast<unsigned>(gen::kServerReplayVertices));
+  Timer load_timer;
   const Graph graph = gen::ServerReplayGraph();
+  const double load_ms = load_timer.Seconds() * 1e3;
   std::fprintf(stderr, "graph: n=%u m=%zu\n",
                static_cast<unsigned>(graph.NumVertices()),
                static_cast<size_t>(graph.NumEdges()));
@@ -349,11 +351,15 @@ int Run(std::FILE* out) {
   for (size_t i = 0; i < results.size(); ++i) {
     const LevelResult& r = results[i];
     std::fprintf(out,
-                 "    {\"concurrency\": %d, \"overload\": %s, "
+                 "    {\"dataset\": \"server-replay\", \"vertices\": %u, "
+                 "\"edges\": %zu, \"load_ms\": %.3f, "
+                 "\"concurrency\": %d, \"overload\": %s, "
                  "\"requests\": %zu, \"completed\": %zu, \"shed\": %zu, "
                  "\"deadline_exceeded\": %zu, \"p50_ms\": %.3f, "
                  "\"p99_ms\": %.3f, \"throughput_rps\": %.3f, "
                  "\"shed_rate\": %.4f, \"wall_seconds\": %.3f}%s\n",
+                 static_cast<unsigned>(graph.NumVertices()),
+                 static_cast<size_t>(graph.NumEdges()), load_ms,
                  r.concurrency, r.overload ? "true" : "false", r.requests,
                  r.completed, r.shed, r.failed, r.p50_ms, r.p99_ms,
                  r.throughput_rps, r.shed_rate, r.wall_seconds,

@@ -3,11 +3,19 @@
 # bench-results/<target>.txt. Pass target names to run a subset.
 #
 # Usage: scripts/run_bench.sh [bench_fig08_exact bench_micro ...]
+#
+# DSD_BENCH_SCALE={small,large} sizes the registry-dataset rows in
+# bench_threads/bench_peel: small (the default) stops at the ~10^6-edge
+# rung (pl-1m), large adds the ~10^7-edge rung (pl-10m; first run pays a
+# one-off generation that is then cached as .dsdg under
+# bench/datasets/cache).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BENCH_BUILD_DIR:-build-bench}"
 OUT_DIR="${BENCH_OUT_DIR:-bench-results}"
+export DSD_BENCH_SCALE="${DSD_BENCH_SCALE:-small}"
+echo "bench scale: $DSD_BENCH_SCALE"
 
 cmake -B "$BUILD_DIR" -S . -DDSD_BUILD_BENCH=ON -DDSD_BUILD_TESTS=OFF
 cmake --build "$BUILD_DIR" -j "$(nproc)"
@@ -54,6 +62,19 @@ for target in "${targets[@]}"; do
       echo "FAIL: $target reported a thread-parity divergence (a" >&2
       echo "multi-threaded answer differed from the sequential baseline);" >&2
       echo "see the bench output above. Aborting." >&2
+      exit 1
+    fi
+    echo "wrote $json"
+  elif [[ $target == bench_storage ]]; then
+    # Storage bench: mmap vs fallback vs text-ingest load times on a
+    # registry dataset. The >= 10x mmap-over-text contract and the
+    # bitwise round-trip are asserted in-bench; either failing means the
+    # storage layer regressed — fail the whole run.
+    json="$OUT_DIR/BENCH_${target#bench_}.json"
+    if ! "$bin" "$json"; then
+      echo "FAIL: $target reported a round-trip mismatch or a blown" >&2
+      echo "mmap-vs-text speedup contract; see the bench output above." >&2
+      echo "Aborting." >&2
       exit 1
     fi
     echo "wrote $json"

@@ -16,6 +16,7 @@
 #include "graph/io.h"
 #include "parallel/parallel_for.h"
 #include "server/protocol.h"
+#include "storage/graph_store.h"
 
 namespace dsd::server {
 
@@ -217,21 +218,26 @@ void DsdServer::HandleSolve(const WireRequest& request,
 }
 
 std::string DsdServer::HandleLoad(const WireRequest& request) {
+  // Files go through the storage layer: .dsdg containers are sniffed by
+  // magic and mmap'ed zero-copy; anything else streams through the
+  // edge-list ingester, whose errors carry the offending line number.
   StatusOr<Graph> graph =
       !request.load_preset.empty()
           ? BuildPresetGraph(request.load_preset, request.load_seed,
                              request.has_load_seed)
-          : io::LoadEdgeList(request.load_file);
+          : storage::LoadGraphFile(request.load_file);
   if (!graph.ok()) return FormatError(request.id, graph.status());
   const VertexId vertices = graph.value().NumVertices();
   const EdgeId edges = graph.value().NumEdges();
+  const size_t bytes = graph.value().MemoryFootprintBytes();
   const Status added =
       registry_.Add(request.load_name, std::move(graph).value());
   if (!added.ok()) return FormatError(request.id, added);
   return "ok id=" + std::to_string(request.id) +
          " name=" + request.load_name +
          " vertices=" + std::to_string(vertices) +
-         " edges=" + std::to_string(edges);
+         " edges=" + std::to_string(edges) +
+         " bytes=" + std::to_string(bytes);
 }
 
 DsdServer::Stats DsdServer::stats() const {
@@ -248,6 +254,7 @@ DsdServer::Stats DsdServer::stats() const {
     stats.cache.degree_misses += cache.degree_misses;
     stats.cache.count_hits += cache.count_hits;
     stats.cache.count_misses += cache.count_misses;
+    stats.resident_bytes += resident->graph().MemoryFootprintBytes();
   }
   return stats;
 }
@@ -261,6 +268,7 @@ std::string DsdServer::FormatStats(uint64_t id) const {
          " shed=" + std::to_string(stats.shed) +
          " queue=" + std::to_string(executor_.QueueDepth()) +
          " running=" + std::to_string(executor_.Running()) +
+         " resident_bytes=" + std::to_string(stats.resident_bytes) +
          " degree_hits=" + std::to_string(stats.cache.degree_hits) +
          " degree_misses=" + std::to_string(stats.cache.degree_misses) +
          " count_hits=" + std::to_string(stats.cache.count_hits) +

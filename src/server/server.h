@@ -105,6 +105,7 @@ class DsdServer {
     uint64_t completed = 0;   ///< solves answered "ok"
     uint64_t failed = 0;      ///< solves answered "err" after running
     uint64_t shed = 0;        ///< solves refused at admission
+    uint64_t resident_bytes = 0;  ///< CSR footprint over resident graphs
     CachingOracle::CacheStats cache;  ///< summed over resident graphs
   };
   Stats stats() const;

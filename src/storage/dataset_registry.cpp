@@ -1,0 +1,288 @@
+#include "storage/dataset_registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "graph/generators.h"
+#include "storage/ingest.h"
+
+namespace dsd::storage {
+
+namespace {
+
+/// Param schema per kind; validation happens at Add() so a bench fails at
+/// registration, not minutes into a run.
+const std::map<std::string, std::vector<std::string>>& KindSchemas() {
+  static const std::map<std::string, std::vector<std::string>> kSchemas = {
+      {"er", {"n", "p", "seed"}},
+      {"ba", {"n", "epv", "seed"}},
+      {"plc", {"n", "epv", "communities", "csize", "intra", "seed"}},
+      {"rmat", {"n", "edges", "seed"}},
+      {"file", {"path"}},
+  };
+  return kSchemas;
+}
+
+StatusOr<uint64_t> ParseUint64Param(const DatasetSpec& spec,
+                                    const std::string& key) {
+  const std::string& text = spec.params.at(key);
+  char* end = nullptr;
+  errno = 0;
+  const uint64_t value = std::strtoull(text.c_str(), &end, 0);  // 0x ok
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("dataset " + spec.name + ": param " + key +
+                                   "='" + text + "' is not an integer");
+  }
+  return value;
+}
+
+StatusOr<double> ParseDoubleParam(const DatasetSpec& spec,
+                                  const std::string& key) {
+  const std::string& text = spec.params.at(key);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("dataset " + spec.name + ": param " + key +
+                                   "='" + text + "' is not a number");
+  }
+  return value;
+}
+
+std::string DefaultCacheDir() {
+  const char* env = std::getenv("DSD_DATASET_CACHE");
+  if (env != nullptr && env[0] != '\0') return env;
+  return "bench/datasets/cache";
+}
+
+DatasetSpec MakeSpec(const char* name, const char* kind,
+                     std::map<std::string, std::string> params) {
+  DatasetSpec spec;
+  spec.name = name;
+  spec.kind = kind;
+  spec.params = std::move(params);
+  return spec;
+}
+
+}  // namespace
+
+DatasetRegistry::DatasetRegistry(std::string cache_dir)
+    : cache_dir_(cache_dir.empty() ? DefaultCacheDir()
+                                   : std::move(cache_dir)) {
+  // The built-in fixed-seed ladder (documented in the header). Edge counts
+  // are ~n*epv (plc/ba) resp. ~C(n,2)*p (er); seeds are frozen so every
+  // bench row on these names is comparable across hosts and commits.
+  const DatasetSpec builtins[] = {
+      MakeSpec("pl-100k", "plc",
+               {{"n", "100000"},
+                {"epv", "3"},
+                {"communities", "32"},
+                {"csize", "16"},
+                {"intra", "0.9"},
+                {"seed", "0xD5D00101"}}),
+      MakeSpec("pl-1m", "plc",
+               {{"n", "350000"},
+                {"epv", "3"},
+                {"communities", "64"},
+                {"csize", "16"},
+                {"intra", "0.9"},
+                {"seed", "0xD5D00102"}}),
+      MakeSpec("er-1m", "er",
+               {{"n", "250000"},
+                {"p", "3.2e-5"},
+                {"seed", "0xD5D00103"}}),
+      MakeSpec("pl-10m", "ba",
+               {{"n", "2500000"},
+                {"epv", "4"},
+                {"seed", "0xD5D00104"}}),
+  };
+  for (const DatasetSpec& spec : builtins) {
+    Add(spec).ok();  // built-ins are valid by construction
+  }
+}
+
+Status DatasetRegistry::Add(DatasetSpec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("dataset name must not be empty");
+  }
+  const auto schema = KindSchemas().find(spec.kind);
+  if (schema == KindSchemas().end()) {
+    return Status::InvalidArgument("dataset " + spec.name +
+                                   ": unknown kind '" + spec.kind + "'");
+  }
+  for (const std::string& key : schema->second) {
+    if (spec.params.find(key) == spec.params.end()) {
+      return Status::InvalidArgument("dataset " + spec.name +
+                                     ": missing param " + key + "=");
+    }
+  }
+  for (const auto& [key, value] : spec.params) {
+    if (std::find(schema->second.begin(), schema->second.end(), key) ==
+        schema->second.end()) {
+      return Status::InvalidArgument("dataset " + spec.name +
+                                     ": unknown param " + key + "=");
+    }
+  }
+  // Numeric params must parse now, not at first Materialize.
+  if (spec.kind != "file") {
+    for (const std::string& key : schema->second) {
+      if (key == "p" || key == "intra") {
+        StatusOr<double> parsed = ParseDoubleParam(spec, key);
+        if (!parsed.ok()) return parsed.status();
+      } else {
+        StatusOr<uint64_t> parsed = ParseUint64Param(spec, key);
+        if (!parsed.ok()) return parsed.status();
+      }
+    }
+  }
+  specs_[spec.name] = std::move(spec);
+  return Status::Ok();
+}
+
+Status DatasetRegistry::LoadManifest(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open manifest " + path);
+  std::string line;
+  uint64_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    std::istringstream tokens(line);
+    std::string name;
+    if (!(tokens >> name) || name[0] == '#') continue;
+    DatasetSpec spec;
+    spec.name = name;
+    if (!(tokens >> spec.kind)) {
+      return Status::InvalidArgument(path + " line " +
+                                     std::to_string(line_number) +
+                                     ": expected `name kind key=value...`");
+    }
+    std::string field;
+    while (tokens >> field) {
+      const size_t eq = field.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return Status::InvalidArgument(
+            path + " line " + std::to_string(line_number) +
+            ": malformed param '" + field + "' (want key=value)");
+      }
+      spec.params[field.substr(0, eq)] = field.substr(eq + 1);
+    }
+    Status added = Add(std::move(spec));
+    if (!added.ok()) {
+      return Status::InvalidArgument(path + " line " +
+                                     std::to_string(line_number) + ": " +
+                                     added.message());
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> DatasetRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) names.push_back(name);
+  return names;
+}
+
+StatusOr<DatasetSpec> DatasetRegistry::Info(const std::string& name) const {
+  const auto it = specs_.find(name);
+  if (it == specs_.end()) {
+    return Status::NotFound("unknown dataset '" + name + "'");
+  }
+  return it->second;
+}
+
+StatusOr<Graph> DatasetRegistry::BuildFresh(const std::string& name) const {
+  const auto it = specs_.find(name);
+  if (it == specs_.end()) {
+    return Status::NotFound("unknown dataset '" + name + "'");
+  }
+  const DatasetSpec& spec = it->second;
+  // Params were validated at Add(); .value() is safe.
+  if (spec.kind == "er") {
+    return gen::ErdosRenyi(
+        static_cast<VertexId>(ParseUint64Param(spec, "n").value()),
+        ParseDoubleParam(spec, "p").value(),
+        ParseUint64Param(spec, "seed").value());
+  }
+  if (spec.kind == "ba") {
+    return gen::BarabasiAlbert(
+        static_cast<VertexId>(ParseUint64Param(spec, "n").value()),
+        static_cast<VertexId>(ParseUint64Param(spec, "epv").value()),
+        ParseUint64Param(spec, "seed").value());
+  }
+  if (spec.kind == "plc") {
+    return gen::PowerLawWithCommunities(
+        static_cast<VertexId>(ParseUint64Param(spec, "n").value()),
+        static_cast<VertexId>(ParseUint64Param(spec, "epv").value()),
+        static_cast<VertexId>(ParseUint64Param(spec, "communities").value()),
+        static_cast<VertexId>(ParseUint64Param(spec, "csize").value()),
+        ParseDoubleParam(spec, "intra").value(),
+        ParseUint64Param(spec, "seed").value());
+  }
+  if (spec.kind == "rmat") {
+    return gen::Rmat(
+        static_cast<VertexId>(ParseUint64Param(spec, "n").value()),
+        ParseUint64Param(spec, "edges").value(),
+        ParseUint64Param(spec, "seed").value());
+  }
+  // kind == "file"
+  return LoadGraphFile(spec.params.at("path"));
+}
+
+StatusOr<std::string> DatasetRegistry::Materialize(
+    const std::string& name) const {
+  const auto it = specs_.find(name);
+  if (it == specs_.end()) {
+    return Status::NotFound("unknown dataset '" + name + "'");
+  }
+  const DatasetSpec& spec = it->second;
+
+  if (spec.kind == "file") {
+    const std::string& path = spec.params.at("path");
+    StatusOr<GraphFileKind> kind = SniffGraphFile(path);
+    if (!kind.ok()) return kind.status();
+    if (kind.value() == GraphFileKind::kDsdg) return path;
+    // Text edge list: convert into the cache once.
+    const std::string cached = cache_dir_ + "/" + name + ".dsdg";
+    if (std::filesystem::exists(cached)) return cached;
+    std::error_code ec;
+    std::filesystem::create_directories(cache_dir_, ec);
+    Status converted = ConvertEdgeListToDsdg(path, cached);
+    if (!converted.ok()) return converted;
+    return cached;
+  }
+
+  const std::string cached = cache_dir_ + "/" + name + ".dsdg";
+  if (std::filesystem::exists(cached)) return cached;
+  StatusOr<Graph> graph = BuildFresh(name);
+  if (!graph.ok()) return graph.status();
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir_, ec);
+  Status written = WriteDsdgFile(graph.value(), cached);
+  if (!written.ok()) return written;
+  return cached;
+}
+
+StatusOr<Graph> DatasetRegistry::Open(const std::string& name,
+                                      const OpenOptions& options) const {
+  StatusOr<std::string> path = Materialize(name);
+  if (!path.ok()) return path.status();
+  return OpenDsdgFile(path.value(), options);
+}
+
+DatasetRegistry& GlobalDatasetRegistry() {
+  static std::once_flag once;
+  static DatasetRegistry* registry = nullptr;
+  std::call_once(once, [] { registry = new DatasetRegistry(); });
+  return *registry;
+}
+
+}  // namespace dsd::storage

@@ -1,0 +1,102 @@
+// DatasetRegistry: named large graphs, materialized once, mmap'ed ever
+// after.
+//
+// Every bench row and server preload should name its dataset instead of
+// inlining a generator call — that is what makes a perf trajectory
+// attributable. A registry entry is either a fixed-seed generator recipe
+// (the src/graph/generators.cpp ER/power-law families scaled to 10^5–10^7
+// vertices) or a file reference. Materialize() builds the graph the first
+// time and caches it as a .dsdg container under the cache directory;
+// afterwards Open() is an mmap away, so a 10^7-edge bench graph costs
+// milliseconds of load per run instead of minutes of regeneration.
+//
+// The built-in presets are compiled in (benches must not depend on cwd),
+// and a manifest file — bench/datasets/manifest.txt, one dataset per
+// line: `name kind key=value...` — can add or override entries for
+// local/real datasets (e.g. downloaded SNAP graphs) without recompiling.
+#ifndef DSD_STORAGE_DATASET_REGISTRY_H_
+#define DSD_STORAGE_DATASET_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "storage/graph_store.h"
+#include "util/status.h"
+
+namespace dsd::storage {
+
+/// One registry entry. `kind` selects the recipe:
+///   er    n= p= seed=            Erdos-Renyi G(n, p)
+///   ba    n= epv= seed=          Barabasi-Albert, epv edges per vertex
+///   plc   n= epv= communities= csize= intra= seed=
+///                                power-law backbone + planted communities
+///   rmat  n= edges= seed=        R-MAT power-law
+///   file  path=                  an existing edge-list or .dsdg file
+/// Numeric params parse as decimal or 0x-hex (seeds); `intra`/`p` as
+/// doubles.
+struct DatasetSpec {
+  std::string name;
+  std::string kind;
+  std::map<std::string, std::string> params;
+};
+
+class DatasetRegistry {
+ public:
+  /// Registry preloaded with the built-in fixed-seed presets. `cache_dir`
+  /// is where materialized .dsdg containers land; empty means the
+  /// DSD_DATASET_CACHE environment variable, or "bench/datasets/cache"
+  /// when unset.
+  explicit DatasetRegistry(std::string cache_dir = "");
+
+  /// Parses a manifest file and adds its entries (overriding same-name
+  /// ones). InvalidArgument with a line number on malformed lines;
+  /// IoError when unreadable.
+  Status LoadManifest(const std::string& path);
+
+  /// Adds or overrides one entry. InvalidArgument on an empty name, an
+  /// unknown kind, or missing/malformed params (specs are validated here,
+  /// not first at Materialize time).
+  Status Add(DatasetSpec spec);
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// NotFound when unregistered.
+  StatusOr<DatasetSpec> Info(const std::string& name) const;
+
+  /// Builds the dataset's graph in memory, bypassing the cache — the
+  /// ground truth Materialize is checked against in tests.
+  StatusOr<Graph> BuildFresh(const std::string& name) const;
+
+  /// Ensures a .dsdg container for `name` exists and returns its path.
+  /// Generator recipes materialize to <cache_dir>/<name>.dsdg on first
+  /// use (creating the directory) and are reused from there after; `file`
+  /// entries pointing at a .dsdg pass through untouched, text edge lists
+  /// are converted into the cache once.
+  StatusOr<std::string> Materialize(const std::string& name) const;
+
+  /// Materialize + OpenDsdgFile: the one-call path benches and tools use.
+  StatusOr<Graph> Open(const std::string& name,
+                       const OpenOptions& options = {}) const;
+
+  const std::string& cache_dir() const { return cache_dir_; }
+
+ private:
+  std::string cache_dir_;
+  std::map<std::string, DatasetSpec> specs_;
+};
+
+/// The process-wide registry with the built-in presets, shared by benches
+/// and tools (constructed on first use; safe to call concurrently). The
+/// built-ins, all fixed-seed:
+///   pl-100k  plc   100k vertices, ~3.3e5 edges — the small rung
+///   pl-1m    plc   350k vertices, ~1.1e6 edges — the default large rung
+///   er-1m    er    250k vertices, ~1.0e6 edges — flat-degree contrast
+///   pl-10m   ba    2.5M vertices, ~1.0e7 edges — the big opt-in rung
+DatasetRegistry& GlobalDatasetRegistry();
+
+}  // namespace dsd::storage
+
+#endif  // DSD_STORAGE_DATASET_REGISTRY_H_

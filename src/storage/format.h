@@ -1,0 +1,108 @@
+// The .dsdg on-disk graph container format.
+//
+// A .dsdg file is the Graph's in-memory CSR layout made durable, in the
+// spirit of Galois's binary .gr format: a fixed 64-byte little-endian
+// header followed by the two flat arrays exactly as Graph holds them, so
+// the mmap reader hands the mapped bytes straight to Graph with zero
+// copies and zero parsing.
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------
+//        0     8  magic "DSDGRPH1"
+//        8     4  format version (uint32, currently 1)
+//       12     4  endian tag 0x01020304 — a byte-swapped reader sees
+//                 0x04030201 and rejects instead of misreading
+//       16     8  num_vertices n (uint64)
+//       24     8  num_neighbor_slots 2m (uint64, == offsets[n])
+//       32     8  payload checksum: FNV-1a over the offsets bytes then
+//                 the neighbors bytes
+//       40     8  header checksum: FNV-1a over bytes [0, 40)
+//       48    16  reserved, must be zero
+//       64         offsets array, (n+1) x uint64   (64-bit aligned)
+//       64+(n+1)*8 neighbors array, 2m x uint32    (64-bit aligned,
+//                                                   since (n+1)*8 is)
+//
+// The header checksum makes corrupt or foreign headers fail fast at open
+// (O(1)); the payload checksum covers the arrays but is verified only on
+// demand (VerifyDsdgFile, dsd_convert --verify, OpenOptions) — checking
+// it at every open would read the whole file and forfeit lazy paging,
+// which is the point of the format. Opens do verify that the file size
+// matches the header's counts, so truncation is always caught cheaply.
+#ifndef DSD_STORAGE_FORMAT_H_
+#define DSD_STORAGE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "graph/types.h"
+
+namespace dsd::storage {
+
+inline constexpr char kDsdgMagic[8] = {'D', 'S', 'D', 'G', 'R', 'P', 'H', '1'};
+inline constexpr uint32_t kDsdgVersion = 1;
+inline constexpr uint32_t kDsdgEndianTag = 0x01020304;
+inline constexpr size_t kDsdgHeaderBytes = 64;
+
+/// The fixed-layout header. Every field is written and read through
+/// memcpy at its documented offset, so the struct only documents the
+/// schema — no reinterpret_cast of file bytes anywhere.
+struct DsdgHeader {
+  char magic[8];
+  uint32_t version = kDsdgVersion;
+  uint32_t endian_tag = kDsdgEndianTag;
+  uint64_t num_vertices = 0;
+  uint64_t num_neighbor_slots = 0;
+  uint64_t payload_checksum = 0;
+  uint64_t header_checksum = 0;
+};
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a over a byte range, chainable via `seed` so multi-section
+/// checksums (offsets then neighbors) need no concatenation.
+inline uint64_t Fnv1a(const void* data, size_t size,
+                      uint64_t seed = kFnvOffsetBasis) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Byte size of the offsets section for n vertices.
+inline uint64_t DsdgOffsetsBytes(uint64_t num_vertices) {
+  return (num_vertices + 1) * sizeof(EdgeId);
+}
+
+/// Byte size of the neighbors section.
+inline uint64_t DsdgNeighborsBytes(uint64_t num_neighbor_slots) {
+  return num_neighbor_slots * sizeof(VertexId);
+}
+
+/// Total file size implied by the header's counts. An open whose fstat
+/// size disagrees is rejected as truncated/overlong without reading the
+/// payload.
+inline uint64_t DsdgFileBytes(uint64_t num_vertices,
+                              uint64_t num_neighbor_slots) {
+  return kDsdgHeaderBytes + DsdgOffsetsBytes(num_vertices) +
+         DsdgNeighborsBytes(num_neighbor_slots);
+}
+
+/// Serializes `header` (checksums must already be set, except
+/// header_checksum which this computes) into a 64-byte buffer.
+void EncodeDsdgHeader(DsdgHeader header, unsigned char out[kDsdgHeaderBytes]);
+
+/// Parses a 64-byte buffer into `out`. Returns false when the bytes are
+/// not a well-formed current-version little-endian header (bad magic,
+/// version, endian tag, header checksum, or nonzero reserved bytes);
+/// `error` then names the first problem.
+bool DecodeDsdgHeader(const unsigned char bytes[kDsdgHeaderBytes],
+                      DsdgHeader* out, const char** error);
+
+}  // namespace dsd::storage
+
+#endif  // DSD_STORAGE_FORMAT_H_

@@ -1,0 +1,79 @@
+// Writer and zero-copy reader for the .dsdg binary graph container.
+//
+// WriteDsdgFile serializes a Graph's CSR arrays verbatim (format.h);
+// OpenDsdgFile maps the file and hands Graph borrowed views into the
+// mapping — a 10^7-edge graph opens in milliseconds because nothing
+// beyond the header is read eagerly; the OS pages neighbor data in as
+// algorithms touch it. The mapping is pinned by a keep-alive handle the
+// Graph (and all its copies) hold, and is released when the last copy
+// dies. Platforms without mmap (and callers that prefer private memory)
+// get a malloc-and-read fallback with identical semantics minus the
+// laziness.
+//
+// Trust model: opening checks the header (magic, version, endianness,
+// header checksum) and that the file size matches the header's counts —
+// O(1) work that catches truncation, foreign files, and cross-endian
+// transfer. The payload checksum and structural invariants (monotone
+// offsets, sorted in-range adjacency) are verified only on demand
+// (VerifyDsdgFile / OpenOptions::verify), because a full-file read is
+// exactly what the mmap path exists to avoid.
+#ifndef DSD_STORAGE_GRAPH_STORE_H_
+#define DSD_STORAGE_GRAPH_STORE_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dsd::storage {
+
+struct OpenOptions {
+  /// false forces the malloc-and-read fallback even where mmap exists
+  /// (the only choice on platforms without it).
+  bool use_mmap = true;
+  /// Verify the payload checksum and structural invariants at open. Reads
+  /// the whole file; off by default (see the trust model above).
+  bool verify = false;
+};
+
+/// Writes `graph` to `path` in .dsdg format, replacing any existing file.
+/// IoError on filesystem failure.
+Status WriteDsdgFile(const Graph& graph, const std::string& path);
+
+/// Opens a .dsdg file as a Graph backed by the mapped (or fallback-read)
+/// file bytes. The returned graph carries a fresh Generation() — file
+/// identity is never trusted as content identity, so oracle caches keyed
+/// on the tag stay sound even if the file changed between opens.
+/// IoError when the file cannot be opened/mapped; InvalidArgument when it
+/// is not a well-formed .dsdg (bad magic/version/endianness/checksum,
+/// truncated, or — with verify — corrupt payload).
+StatusOr<Graph> OpenDsdgFile(const std::string& path,
+                             const OpenOptions& options = {});
+
+/// Full integrity check: header, file size, payload checksum, monotone
+/// offsets, and every neighbor id in range with sorted adjacency rows.
+/// Reads the entire file. Ok iff the file would open and behave as a
+/// valid Graph.
+Status VerifyDsdgFile(const std::string& path);
+
+/// What a graph file is, sniffed from its leading bytes (not its name).
+enum class GraphFileKind {
+  kDsdg,      ///< starts with the .dsdg magic
+  kEdgeList,  ///< anything else: treated as SNAP-style text
+};
+
+/// Sniffs `path` by magic. IoError when unreadable. An empty file is an
+/// (empty) edge list.
+StatusOr<GraphFileKind> SniffGraphFile(const std::string& path);
+
+/// Loads a graph from `path`, dispatching on the sniffed kind: .dsdg
+/// files open via OpenDsdgFile(options), anything else streams through
+/// the edge-list ingester (ingest.h) — so every caller (server `load`,
+/// --preload, the CLI, dsd_convert) accepts both formats through one
+/// entry point.
+StatusOr<Graph> LoadGraphFile(const std::string& path,
+                              const OpenOptions& options = {});
+
+}  // namespace dsd::storage
+
+#endif  // DSD_STORAGE_GRAPH_STORE_H_

@@ -1,0 +1,250 @@
+#include "storage/ingest.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "storage/graph_store.h"
+
+namespace dsd::storage {
+
+namespace {
+
+/// Parses a non-negative integer starting at `pos`; advances pos past the
+/// digits. False on overflow or no digits.
+bool ParseUint(std::string_view text, size_t& pos, uint64_t& out) {
+  const size_t start = pos;
+  uint64_t value = 0;
+  while (pos < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    const uint64_t digit = static_cast<uint64_t>(text[pos] - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+    ++pos;
+  }
+  if (pos == start) return false;
+  out = value;
+  return true;
+}
+
+void SkipSpaces(std::string_view text, size_t& pos) {
+  while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+}
+
+}  // namespace
+
+struct EdgeListIngester::Impl {
+  // Parsed edges over *interim* ids (first-appearance interning keeps an
+  // edge at 8 bytes during the streaming phase); Finish() relabels them
+  // by raw-id rank, so the final numbering preserves the input's id order
+  // — dense 0-based files keep their ids verbatim, 1-based files shift
+  // down by one, arbitrary ids compact order-preservingly.
+  std::vector<Edge> edges;
+  std::unordered_map<uint64_t, VertexId> interim;
+  std::string carry;  // unterminated tail of the previous chunk
+  uint64_t line_number = 0;
+  IngestStats stats;
+  Status error = Status::Ok();
+  bool finished = false;
+};
+
+EdgeListIngester::EdgeListIngester() : impl_(new Impl) {}
+
+EdgeListIngester::~EdgeListIngester() { delete impl_; }
+
+Status EdgeListIngester::ParseLine(std::string_view line) {
+  Impl& impl = *impl_;
+  ++impl.line_number;
+  ++impl.stats.lines;
+  // Tolerate CRLF: a trailing '\r' belongs to the terminator, not the line.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+  size_t pos = 0;
+  SkipSpaces(line, pos);
+  if (pos >= line.size()) {
+    ++impl.stats.blank_lines;
+    return Status::Ok();
+  }
+  if (line[pos] == '#' || line[pos] == '%') {
+    ++impl.stats.comment_lines;
+    return Status::Ok();
+  }
+
+  const std::string line_tag = "line " + std::to_string(impl.line_number);
+  uint64_t raw_u = 0;
+  uint64_t raw_v = 0;
+  if (!ParseUint(line, pos, raw_u)) {
+    return Status::InvalidArgument(line_tag + ": expected first vertex id");
+  }
+  SkipSpaces(line, pos);
+  if (!ParseUint(line, pos, raw_v)) {
+    return Status::InvalidArgument(line_tag + ": expected second vertex id");
+  }
+  SkipSpaces(line, pos);
+  if (pos < line.size()) {
+    return Status::InvalidArgument(line_tag + ": trailing garbage");
+  }
+
+  ++impl.stats.edges_in;
+  if (raw_u == raw_v) {
+    ++impl.stats.self_loops;
+    return Status::Ok();
+  }
+  auto intern = [&impl](uint64_t raw) {
+    auto [it, inserted] = impl.interim.try_emplace(
+        raw, static_cast<VertexId>(impl.interim.size()));
+    (void)inserted;
+    return it->second;
+  };
+  impl.edges.push_back(NormalizeEdge(intern(raw_u), intern(raw_v)));
+  return Status::Ok();
+}
+
+Status EdgeListIngester::Consume(std::string_view chunk) {
+  Impl& impl = *impl_;
+  if (!impl.error.ok()) return impl.error;
+
+  size_t pos = 0;
+  while (pos < chunk.size()) {
+    const size_t newline = chunk.find('\n', pos);
+    if (newline == std::string_view::npos) {
+      impl.carry.append(chunk.substr(pos));
+      break;
+    }
+    Status parsed = Status::Ok();
+    if (impl.carry.empty()) {
+      parsed = ParseLine(chunk.substr(pos, newline - pos));
+    } else {
+      impl.carry.append(chunk.substr(pos, newline - pos));
+      parsed = ParseLine(impl.carry);
+      impl.carry.clear();
+    }
+    if (!parsed.ok()) {
+      impl.error = parsed;
+      return parsed;
+    }
+    pos = newline + 1;
+  }
+  return Status::Ok();
+}
+
+StatusOr<Graph> EdgeListIngester::Finish(IngestStats* stats) {
+  Impl& impl = *impl_;
+  if (impl.finished) {
+    return Status::InvalidArgument("EdgeListIngester::Finish called twice");
+  }
+  impl.finished = true;
+  if (impl.error.ok() && !impl.carry.empty()) {
+    // A final line without '\n' is still a line.
+    std::string last = std::move(impl.carry);
+    impl.error = ParseLine(last);
+  }
+  if (!impl.error.ok()) return impl.error;
+
+  const VertexId n = static_cast<VertexId>(impl.interim.size());
+
+  // Relabel interim ids by raw-id rank: sort the distinct raw ids, map
+  // each interim id to its raw id's position. Dense 0-based input thus
+  // keeps its ids bitwise (rank == raw), which is what lets a written
+  // edge list round-trip exactly.
+  {
+    std::vector<std::pair<uint64_t, VertexId>> raw_to_interim;
+    raw_to_interim.reserve(impl.interim.size());
+    for (const auto& [raw, interim_id] : impl.interim) {
+      raw_to_interim.emplace_back(raw, interim_id);
+    }
+    std::sort(raw_to_interim.begin(), raw_to_interim.end());
+    std::vector<VertexId> rank(n);
+    bool relabel_needed = false;  // interim numbering != rank numbering
+    for (VertexId r = 0; r < n; ++r) {
+      rank[raw_to_interim[r].second] = r;
+      if (raw_to_interim[r].second != r) relabel_needed = true;
+      if (raw_to_interim[r].first != r) impl.stats.ids_remapped = true;
+    }
+    if (relabel_needed) {
+      for (Edge& e : impl.edges) {
+        e.first = rank[e.first];
+        e.second = rank[e.second];
+      }
+    }
+  }
+
+  // CSR build with in-place dedup: count, fill both directions, sort each
+  // row, unique — duplicates (either orientation) land adjacent in the
+  // sorted rows.
+  std::vector<EdgeId> counts(static_cast<size_t>(n) + 1, 0);
+  for (const Edge& e : impl.edges) {
+    ++counts[e.first + 1];
+    ++counts[e.second + 1];
+  }
+  for (size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+  std::vector<VertexId> slots(counts.back());
+  {
+    std::vector<EdgeId> cursor(counts.begin(), counts.end() - 1);
+    for (const Edge& e : impl.edges) {
+      slots[cursor[e.first]++] = e.second;
+      slots[cursor[e.second]++] = e.first;
+    }
+  }
+  impl.edges.clear();
+  impl.edges.shrink_to_fit();
+
+  std::vector<EdgeId> offsets(static_cast<size_t>(n) + 1, 0);
+  std::vector<VertexId> neighbors;
+  neighbors.reserve(slots.size());
+  uint64_t duplicate_slots = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto begin = slots.begin() + static_cast<ptrdiff_t>(counts[v]);
+    const auto end = slots.begin() + static_cast<ptrdiff_t>(counts[v + 1]);
+    std::sort(begin, end);
+    const auto unique_end = std::unique(begin, end);
+    duplicate_slots += static_cast<uint64_t>(end - unique_end);
+    neighbors.insert(neighbors.end(), begin, unique_end);
+    offsets[v + 1] = neighbors.size();
+  }
+  // Each duplicate undirected edge contributed two duplicate slots.
+  impl.stats.duplicate_edges = duplicate_slots / 2;
+  impl.stats.vertices = n;
+  impl.stats.edges = neighbors.size() / 2;
+  if (stats != nullptr) *stats = impl.stats;
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+StatusOr<Graph> IngestEdgeListFile(const std::string& path,
+                                   IngestStats* stats) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  EdgeListIngester ingester;
+  char buffer[64 * 1024];
+  Status status = Status::Ok();
+  for (;;) {
+    const size_t got = std::fread(buffer, 1, sizeof(buffer), file);
+    if (got == 0) break;
+    status = ingester.Consume(std::string_view(buffer, got));
+    if (!status.ok()) break;
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (!status.ok()) return status;
+  if (read_error) return Status::IoError("read failure on " + path);
+  return ingester.Finish(stats);
+}
+
+Status ConvertEdgeListToDsdg(const std::string& path,
+                             const std::string& out_path,
+                             IngestStats* stats) {
+  StatusOr<Graph> graph = IngestEdgeListFile(path, stats);
+  if (!graph.ok()) return graph.status();
+  return WriteDsdgFile(graph.value(), out_path);
+}
+
+}  // namespace dsd::storage

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <string>
@@ -26,6 +27,7 @@
 #include "server/graph_registry.h"
 #include "server/protocol.h"
 #include "server/server.h"
+#include "storage/graph_store.h"
 
 namespace dsd::server {
 namespace {
@@ -478,6 +480,52 @@ TEST(DsdServerTest, LoadMakesAGraphResident) {
   ASSERT_TRUE(unknown.ok());
   EXPECT_EQ(unknown.value().code, "NotFound");
   ASSERT_NE(server.registry().Find("p"), nullptr);
+}
+
+TEST(DsdServerTest, LoadsDsdgContainersAndReportsResidentBytes) {
+  const std::string path = testing::TempDir() + "/dsd_server_load.dsdg";
+  const Graph graph = gen::PlantedClique(100, 0.05, 8, 3);
+  ASSERT_TRUE(storage::WriteDsdgFile(graph, path).ok());
+
+  DsdServer server(SmallServerOptions());
+  ResponseSink sink;
+  server.Handle("load name=g file=" + path + " id=1", sink.Callback());
+  server.Handle("stats id=2", sink.Callback());
+  const std::vector<std::string> responses = sink.Await(2);
+
+  StatusOr<WireResponse> loaded = ParseWireResponse(responses[0]);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded.value().ok) << responses[0];
+  uint64_t vertices = 0;
+  uint64_t bytes = 0;
+  ASSERT_TRUE(loaded.value().GetUint("vertices", &vertices));
+  ASSERT_TRUE(loaded.value().GetUint("bytes", &bytes));
+  EXPECT_EQ(vertices, graph.NumVertices());
+  EXPECT_EQ(bytes, graph.MemoryFootprintBytes());
+
+  StatusOr<WireResponse> stats = ParseWireResponse(responses[1]);
+  ASSERT_TRUE(stats.ok());
+  uint64_t resident = 0;
+  ASSERT_TRUE(stats.value().GetUint("resident_bytes", &resident));
+  EXPECT_EQ(resident, graph.MemoryFootprintBytes());
+}
+
+TEST(DsdServerTest, MalformedEdgeListLoadReportsTheOffendingLine) {
+  const std::string path = testing::TempDir() + "/dsd_server_bad_edges.txt";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "0 1\nnot an edge\n";
+  }
+  DsdServer server(SmallServerOptions());
+  ResponseSink sink;
+  server.Handle("load name=bad file=" + path + " id=1", sink.Callback());
+  const std::vector<std::string> responses = sink.Await(1);
+  StatusOr<WireResponse> parsed = ParseWireResponse(responses[0]);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value().ok);
+  EXPECT_EQ(parsed.value().code, "InvalidArgument");
+  EXPECT_NE(parsed.value().msg.find("line 2"), std::string::npos)
+      << responses[0];
 }
 
 /// The parity fields of a solve response — everything except wall time,

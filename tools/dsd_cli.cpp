@@ -5,8 +5,12 @@
 //           [--query 3,17,42] [--min-size 20] [--eps 0.1] [--threads N]
 //           [--time-budget S] [--verbose]
 //   dsd_cli --demo            # run on a small generated graph
+//   dsd_cli --stats           # print graph statistics and exit (no solve)
 //   dsd_cli --list-algos      # registered algorithms, one per line
 //   dsd_cli --list-motifs     # recognised motif names, one per line
+//
+// --input accepts edge-list text or a .dsdg binary container (sniffed by
+// magic; .dsdg opens via mmap, zero-copy).
 //
 // The CLI is a thin shell over dsd::Solve: flags are packed into a
 // dsd::SolveRequest and every semantic check (unknown algorithm/motif, bad
@@ -26,6 +30,7 @@
 #include <vector>
 
 #include "dsd/dsd.h"
+#include "storage/graph_store.h"
 
 namespace {
 
@@ -34,6 +39,7 @@ using dsd::VertexId;
 struct Options {
   std::string input;
   bool demo = false;
+  bool stats = false;
   bool verbose = false;
   dsd::SolveRequest request;
 };
@@ -45,8 +51,12 @@ struct Options {
       out,
       "usage: dsd_cli (--input FILE | --demo) [--motif M] [--algo A]\n"
       "               [--query v1,v2,...] [--min-size K] [--eps E]\n"
-      "               [--threads N] [--time-budget S] [--verbose]\n"
+      "               [--threads N] [--time-budget S] [--stats]\n"
+      "               [--verbose]\n"
       "       dsd_cli --list-algos | --list-motifs\n"
+      "  FILE is edge-list text or a .dsdg container (sniffed by magic);\n"
+      "  --stats prints graph statistics (incl. memory footprint) and\n"
+      "  exits without solving\n"
       "  motifs:     edge triangle <h>-clique 2-star 3-star c3-star diamond\n"
       "              2-triangle 3-triangle basket\n"
       "  algorithms: exact core-exact peel inc-app core-app stream at-least "
@@ -143,6 +153,8 @@ Options ParseArgs(int argc, char** argv) {
       ListAndExit(dsd::SolverRegistry::Global().Names());
     } else if (arg == "--list-motifs") {
       ListAndExit(dsd::KnownMotifNames());
+    } else if (arg == "--stats") {
+      options.stats = true;
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -167,7 +179,8 @@ int main(int argc, char** argv) {
     graph = dsd::gen::PlantedClique(500, 0.01, 15, 7);
     std::printf("# demo graph (planted K15 in G(500, 0.01))\n");
   } else {
-    dsd::StatusOr<dsd::Graph> loaded = dsd::io::LoadEdgeList(options.input);
+    dsd::StatusOr<dsd::Graph> loaded =
+        dsd::storage::LoadGraphFile(options.input);
     if (!loaded.ok()) {
       std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
       return ExitCodeFor(loaded.status());
@@ -176,6 +189,22 @@ int main(int argc, char** argv) {
   }
   std::printf("# graph: n=%u m=%llu\n", graph.NumVertices(),
               static_cast<unsigned long long>(graph.NumEdges()));
+
+  if (options.stats) {
+    std::printf("vertices      %u\n", graph.NumVertices());
+    std::printf("edges         %llu\n",
+                static_cast<unsigned long long>(graph.NumEdges()));
+    std::printf("max_degree    %llu\n",
+                static_cast<unsigned long long>(graph.MaxDegree()));
+    const double n = graph.NumVertices();
+    std::printf("avg_degree    %.3f\n",
+                n > 0 ? 2.0 * static_cast<double>(graph.NumEdges()) / n
+                      : 0.0);
+    std::printf("memory_bytes  %zu\n", graph.MemoryFootprintBytes());
+    std::printf("storage       %s\n",
+                graph.IsBorrowed() ? "mmap (borrowed)" : "heap (owned)");
+    return 0;
+  }
 
   dsd::StatusOr<dsd::SolveResponse> solved =
       dsd::Solve(graph, options.request);

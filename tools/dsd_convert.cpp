@@ -1,0 +1,240 @@
+// dsd_convert — convert between edge-list text and .dsdg binary graph
+// containers, with integrity verification and dataset statistics.
+//
+// Usage:
+//   dsd_convert [--verify] [--stats] [--no-mmap] INPUT [OUTPUT]
+//   dsd_convert --dataset NAME [--verify] [--stats]
+//
+// INPUT's format is sniffed by magic, never by name: a .dsdg container
+// opens via mmap, anything else streams through the SNAP edge-list
+// ingester. OUTPUT's direction is chosen by extension: *.dsdg writes the
+// binary container, anything else writes normalized "u v" text. With no
+// OUTPUT the input is only loaded (useful with --stats / --verify).
+//
+//   --verify   after writing, re-open OUTPUT and check it round-trips
+//              BITWISE (identical CSR arrays); for .dsdg output also run
+//              the full container integrity check (checksums, monotone
+//              offsets, sorted in-range adjacency). With no OUTPUT,
+//              verifies INPUT itself when it is a .dsdg.
+//   --stats    print vertices/edges/degree stats, the in-memory CSR
+//              footprint, load time, and — for text input — the
+//              ingestion log (comments, self-loops, duplicates, remap).
+//   --no-mmap  open .dsdg via the malloc-and-read fallback.
+//   --dataset  materialize a registry dataset (writing its .dsdg cache
+//              if missing) and treat it as INPUT.
+//
+// Exit codes: 0 success, 1 environment failure (IoError), 2 bad usage or
+// malformed input (InvalidArgument/NotFound), 3 verification mismatch.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "storage/dataset_registry.h"
+#include "storage/graph_store.h"
+#include "storage/ingest.h"
+#include "util/timer.h"
+
+namespace {
+
+[[noreturn]] void Usage(const char* error) {
+  std::FILE* out = error != nullptr ? stderr : stdout;
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(out,
+               "usage: dsd_convert [--verify] [--stats] [--no-mmap] INPUT "
+               "[OUTPUT]\n"
+               "       dsd_convert --dataset NAME [--verify] [--stats]\n"
+               "  INPUT   edge-list text or .dsdg container (sniffed by "
+               "magic)\n"
+               "  OUTPUT  *.dsdg writes the binary container, anything else\n"
+               "          writes normalized edge-list text\n"
+               "  --verify    round-trip OUTPUT bitwise + full .dsdg "
+               "integrity check\n"
+               "  --stats     print graph/ingestion statistics\n"
+               "  --no-mmap   use the read-into-memory fallback for .dsdg\n"
+               "  --dataset   materialize a registry dataset as INPUT\n");
+  std::exit(error == nullptr ? 0 : 2);
+}
+
+int ExitCodeFor(const dsd::Status& status) {
+  if (status.ok()) return 0;
+  return status.IsIoError() ? 1 : 2;
+}
+
+bool EndsWith(const std::string& text, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return text.size() >= n && text.compare(text.size() - n, n, suffix) == 0;
+}
+
+void PrintStats(const dsd::Graph& graph, double load_seconds,
+                const dsd::storage::IngestStats* ingest) {
+  std::printf("vertices        %u\n", graph.NumVertices());
+  std::printf("edges           %llu\n",
+              static_cast<unsigned long long>(graph.NumEdges()));
+  std::printf("max_degree      %llu\n",
+              static_cast<unsigned long long>(graph.MaxDegree()));
+  const double n = graph.NumVertices();
+  std::printf("avg_degree      %.3f\n",
+              n > 0 ? 2.0 * static_cast<double>(graph.NumEdges()) / n : 0.0);
+  std::printf("memory_bytes    %zu\n", graph.MemoryFootprintBytes());
+  std::printf("storage         %s\n",
+              graph.IsBorrowed() ? "mmap (borrowed)" : "heap (owned)");
+  std::printf("load_ms         %.3f\n", load_seconds * 1e3);
+  if (ingest != nullptr) {
+    std::printf("input_lines     %llu (comments %llu, blank %llu)\n",
+                static_cast<unsigned long long>(ingest->lines),
+                static_cast<unsigned long long>(ingest->comment_lines),
+                static_cast<unsigned long long>(ingest->blank_lines));
+    std::printf("self_loops      %llu\n",
+                static_cast<unsigned long long>(ingest->self_loops));
+    std::printf("duplicate_edges %llu\n",
+                static_cast<unsigned long long>(ingest->duplicate_edges));
+    std::printf("ids_remapped    %s\n", ingest->ids_remapped ? "yes" : "no");
+  }
+}
+
+/// Bitwise CSR equality — the round-trip contract --verify enforces.
+bool BitwiseEqual(const dsd::Graph& a, const dsd::Graph& b) {
+  const auto ao = a.RawOffsets();
+  const auto bo = b.RawOffsets();
+  const auto an = a.RawNeighbors();
+  const auto bn = b.RawNeighbors();
+  return ao.size() == bo.size() && an.size() == bn.size() &&
+         std::memcmp(ao.data(), bo.data(), ao.size_bytes()) == 0 &&
+         (an.empty() ||
+          std::memcmp(an.data(), bn.data(), an.size_bytes()) == 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool verify = false;
+  bool stats = false;
+  bool no_mmap = false;
+  std::string dataset;
+  std::string input;
+  std::string output;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Usage(nullptr);
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--no-mmap") {
+      no_mmap = true;
+    } else if (arg == "--dataset") {
+      if (i + 1 >= argc) Usage("--dataset expects a name");
+      dataset = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      Usage(("unknown flag '" + arg + "'").c_str());
+    } else if (input.empty()) {
+      input = arg;
+    } else if (output.empty()) {
+      output = arg;
+    } else {
+      Usage("too many positional arguments");
+    }
+  }
+  if (dataset.empty() == input.empty()) {
+    Usage("exactly one of INPUT or --dataset NAME is required");
+  }
+  if (!dataset.empty() && !output.empty()) {
+    Usage("--dataset does not take an OUTPUT (it materializes its own)");
+  }
+
+  if (!dataset.empty()) {
+    dsd::StatusOr<std::string> path =
+        dsd::storage::GlobalDatasetRegistry().Materialize(dataset);
+    if (!path.ok()) {
+      std::fprintf(stderr, "error: %s\n", path.status().ToString().c_str());
+      return ExitCodeFor(path.status());
+    }
+    std::printf("dataset %s -> %s\n", dataset.c_str(), path.value().c_str());
+    input = path.value();
+  }
+
+  // Load the input (sniffed), timing it and collecting ingestion stats
+  // when the source is text.
+  dsd::storage::OpenOptions open_options;
+  open_options.use_mmap = !no_mmap;
+  dsd::storage::IngestStats ingest_stats;
+  const dsd::storage::IngestStats* ingest_view = nullptr;
+
+  dsd::StatusOr<dsd::storage::GraphFileKind> kind =
+      dsd::storage::SniffGraphFile(input);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "error: %s\n", kind.status().ToString().c_str());
+    return ExitCodeFor(kind.status());
+  }
+  dsd::Timer load_timer;
+  dsd::StatusOr<dsd::Graph> loaded =
+      kind.value() == dsd::storage::GraphFileKind::kDsdg
+          ? dsd::storage::OpenDsdgFile(input, open_options)
+          : dsd::storage::IngestEdgeListFile(input, &ingest_stats);
+  const double load_seconds = load_timer.Seconds();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return ExitCodeFor(loaded.status());
+  }
+  if (kind.value() == dsd::storage::GraphFileKind::kEdgeList) {
+    ingest_view = &ingest_stats;
+  }
+  const dsd::Graph& graph = loaded.value();
+
+  if (stats) PrintStats(graph, load_seconds, ingest_view);
+
+  if (!output.empty()) {
+    const bool to_dsdg = EndsWith(output, ".dsdg");
+    const dsd::Status written =
+        to_dsdg ? dsd::storage::WriteDsdgFile(graph, output)
+                : dsd::io::SaveEdgeList(graph, output);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return ExitCodeFor(written);
+    }
+    std::printf("wrote %s (%s)\n", output.c_str(),
+                to_dsdg ? "dsdg" : "edge list");
+
+    if (verify) {
+      if (to_dsdg) {
+        const dsd::Status integrity = dsd::storage::VerifyDsdgFile(output);
+        if (!integrity.ok()) {
+          std::fprintf(stderr, "verify: %s\n", integrity.ToString().c_str());
+          return 3;
+        }
+      }
+      dsd::StatusOr<dsd::Graph> reread =
+          dsd::storage::LoadGraphFile(output, open_options);
+      if (!reread.ok()) {
+        std::fprintf(stderr, "verify: %s\n",
+                     reread.status().ToString().c_str());
+        return 3;
+      }
+      if (!BitwiseEqual(graph, reread.value())) {
+        std::fprintf(stderr,
+                     "verify: round-trip mismatch (re-read CSR differs "
+                     "bitwise from the source graph)\n");
+        return 3;
+      }
+      std::printf("verify ok (bitwise round-trip%s)\n",
+                  to_dsdg ? " + container integrity" : "");
+    }
+  } else if (verify) {
+    if (kind.value() == dsd::storage::GraphFileKind::kDsdg) {
+      const dsd::Status integrity = dsd::storage::VerifyDsdgFile(input);
+      if (!integrity.ok()) {
+        std::fprintf(stderr, "verify: %s\n", integrity.ToString().c_str());
+        return 3;
+      }
+      std::printf("verify ok (container integrity)\n");
+    } else {
+      std::printf("verify: input is an edge list; nothing beyond the parse "
+                  "to check\n");
+    }
+  }
+  return 0;
+}

@@ -29,6 +29,7 @@
 #include "graph/io.h"
 #include "server/protocol.h"
 #include "server/server.h"
+#include "storage/graph_store.h"
 
 namespace {
 
@@ -59,7 +60,8 @@ void HandleSignal(int /*signal*/) {
       "  --max-queue N  admission queue bound (default 64)\n"
       "  --preload      make a graph resident at startup; PRESET is one\n"
       "                 of ba-small, planted-clique, server-replay, or\n"
-      "                 @FILE loads an edge list\n");
+      "                 @FILE loads an edge list or .dsdg container\n"
+      "                 (sniffed by magic)\n");
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -94,7 +96,8 @@ Preload ParsePreload(const std::string& text) {
 int ApplyPreload(DsdServer& server, const Preload& preload) {
   dsd::StatusOr<dsd::Graph> graph = [&]() -> dsd::StatusOr<dsd::Graph> {
     if (!preload.source.empty() && preload.source[0] == '@') {
-      return dsd::io::LoadEdgeList(preload.source.substr(1));
+      // Sniffs .dsdg containers (mmap'ed zero-copy) vs edge-list text.
+      return dsd::storage::LoadGraphFile(preload.source.substr(1));
     }
     const size_t colon = preload.source.find(':');
     if (colon == std::string::npos) {
