@@ -5,10 +5,11 @@
 # Usage: scripts/run_bench.sh [bench_fig08_exact bench_micro ...]
 #
 # DSD_BENCH_SCALE={small,large} sizes the registry-dataset rows in
-# bench_threads/bench_peel: small (the default) stops at the ~10^6-edge
-# rung (pl-1m), large adds the ~10^7-edge rung (pl-10m; first run pays a
-# one-off generation that is then cached as .dsdg under
-# bench/datasets/cache).
+# bench_threads/bench_peel/bench_flow: small (the default) stops at the
+# ~10^6-edge rung (pl-1m), large adds the ~10^7-edge rung (pl-10m; first
+# run pays a one-off generation that is then cached as .dsdg under
+# bench/datasets/cache) and, in bench_flow, the whole-graph exact solve
+# on pl-1m.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,6 +49,22 @@ for target in "${targets[@]}"; do
       echo "FAIL: $target reported a parity violation (a served response" >&2
       echo "differed from the direct dsd::Solve answer) or a transport" >&2
       echo "failure; see the bench output above. Aborting." >&2
+      exit 1
+    fi
+    echo "wrote $json"
+  elif [[ $target == bench_flow ]]; then
+    # Flow-engine bench: exact/core-exact on registry datasets across
+    # thread budgets and warm/cold flow search, with the FlowNetwork work
+    # counters per run. Parity (identical densest subgraph across every
+    # run of a cell) and the warm-does-less-work contract are asserted
+    # in-bench; either failing is a flow-layer correctness/perf bug —
+    # fail the whole run.
+    json="$OUT_DIR/BENCH_${target#bench_}.json"
+    if ! "$bin" "$json"; then
+      echo "FAIL: $target reported a parity divergence across threads or" >&2
+      echo "warm/cold flow search, or the warm-started search stopped" >&2
+      echo "doing less work than cold; see the bench output above." >&2
+      echo "Aborting." >&2
       exit 1
     fi
     echo "wrote $json"

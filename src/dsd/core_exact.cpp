@@ -141,6 +141,7 @@ DensestResult CoreExact(const Graph& graph, const MotifOracle& oracle,
     Subgraph sub = InducedSubgraph(graph, component);
     std::unique_ptr<DensestFlowSolver> solver =
         MakeDefaultFlowSolver(sub.graph, oracle, ctx);
+    solver->SetWarmStart(options.flow_warm_start);
     if (options.track_network_sizes) {
       result.stats.flow_network_sizes.push_back(solver->NumNodes());
     }
@@ -148,7 +149,10 @@ DensestResult CoreExact(const Graph& graph, const MotifOracle& oracle,
     // Initial feasibility: can this component beat the current lower bound?
     std::vector<VertexId> side = solver->Solve(lower);
     ++result.stats.binary_search_iterations;
-    if (side.empty()) continue;
+    if (side.empty()) {
+      AccumulateFlowStats(*solver, result.stats);
+      continue;
+    }
     std::vector<VertexId> candidate = sub.ToParent(side);
 
     const double gap =
@@ -177,9 +181,12 @@ DensestResult CoreExact(const Graph& graph, const MotifOracle& oracle,
             RestrictToCore(graph, oracle, component, applied_level, ctx);
         if (component.size() < 2) break;
         sub = InducedSubgraph(graph, component);
+        AccumulateFlowStats(*solver, result.stats);
         solver = MakeDefaultFlowSolver(sub.graph, oracle, ctx);
+        solver->SetWarmStart(options.flow_warm_start);
       }
     }
+    AccumulateFlowStats(*solver, result.stats);
 
     const double candidate_density =
         MeasureDensity(graph, oracle, candidate, ctx);

@@ -38,6 +38,11 @@ struct CoreExactOptions {
   /// hypothetical whole-graph network (Figure 9). Costs one extra instance
   /// scan of the full graph.
   bool track_network_sizes = false;
+  /// Warm-start the flow network across binary-search iterations (each
+  /// guess re-routes only the delta against the previous preflow). Off =
+  /// the cold-start-per-iteration baseline BENCH_flow.json compares
+  /// against; the min cuts are identical either way.
+  bool flow_warm_start = true;
 };
 
 /// Exact CDS via (k, Psi)-cores (Algorithm 4). Works for any oracle; with a

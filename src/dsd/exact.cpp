@@ -42,6 +42,7 @@ DensestResult ExactWithSolver(const Graph& graph, const MotifOracle& oracle,
       best = std::move(side);
     }
   }
+  AccumulateFlowStats(*solver, result.stats);
   FillResult(graph, oracle, std::move(best), result, ctx);
   result.stats.total_seconds = timer.Seconds();
   return result;

@@ -5,80 +5,97 @@
 
 #include "clique/clique_enumerator.h"
 #include "dsd/parallel_oracle.h"
-#include "flow/max_flow.h"
+#include "flow/flow_network.h"
 
 namespace dsd {
 
 namespace {
 
-using NodeId = MaxFlowNetwork::NodeId;
-using ArcId = MaxFlowNetwork::ArcId;
+using NodeId = FlowNetwork::NodeId;
+using ArcId = FlowNetwork::ArcId;
 
-// Shared source-side extraction: nodes 1..n are graph vertices.
-std::vector<VertexId> VerticesOnSourceSide(const MaxFlowNetwork& network,
-                                           VertexId n) {
-  std::vector<VertexId> result;
-  for (NodeId node : network.MinCutSourceSide(0)) {
-    if (node >= 1 && node <= n) result.push_back(node - 1);
+// Common shape of the three constructions: node 0 is s, nodes 1..n are the
+// graph vertices, the last node is t; per-vertex source and alpha arcs are
+// remembered for retuning. The FlowNetwork and the ExecutionContext it
+// solves under live here, as do the warm-start toggle and stats pass-through.
+class FlowSolverBase : public DensestFlowSolver {
+ public:
+  uint64_t NumNodes() const override { return network_->num_nodes(); }
+
+  void ForceToSource(const std::vector<VertexId>& vertices) override {
+    for (VertexId v : vertices) {
+      network_->SetCapacity(source_arcs_[v], FlowNetwork::kInfinity);
+    }
   }
-  return result;
-}
+
+  void SetWarmStart(bool on) override { network_->set_warm_start(on); }
+
+  FlowStats Stats() const override { return network_->stats(); }
+
+ protected:
+  FlowSolverBase(VertexId n, const ExecutionContext& ctx) : n_(n), ctx_(ctx) {}
+
+  // Runs the min cut at the current capacities and extracts the graph
+  // vertices on the source side.
+  std::vector<VertexId> SolveAndExtract() {
+    network_->MaxFlow(0, static_cast<NodeId>(network_->num_nodes()) - 1,
+                      ctx_);
+    std::vector<VertexId> result;
+    for (NodeId node : network_->MinCutSourceSide(0)) {
+      if (node >= 1 && node <= n_) result.push_back(node - 1);
+    }
+    return result;
+  }
+
+  VertexId n_;
+  ExecutionContext ctx_;
+  std::unique_ptr<FlowNetwork> network_;
+  std::vector<ArcId> alpha_arcs_;
+  std::vector<ArcId> source_arcs_;
+};
 
 // Goldberg's edge-density network.
-class EdsFlowSolver : public DensestFlowSolver {
+class EdsFlowSolver : public FlowSolverBase {
  public:
-  explicit EdsFlowSolver(const Graph& graph)
-      : n_(graph.NumVertices()),
-        network_(static_cast<NodeId>(graph.NumVertices()) + 2) {
+  EdsFlowSolver(const Graph& graph, const ExecutionContext& ctx)
+      : FlowSolverBase(graph.NumVertices(), ctx) {
     m_ = static_cast<double>(graph.NumEdges());
+    network_ = std::make_unique<FlowNetwork>(static_cast<NodeId>(n_) + 2);
     const NodeId s = 0;
     const NodeId t = static_cast<NodeId>(n_) + 1;
     alpha_arcs_.reserve(n_);
     source_arcs_.reserve(n_);
     degrees_.reserve(n_);
     for (VertexId v = 0; v < n_; ++v) {
-      source_arcs_.push_back(network_.AddArc(s, v + 1, m_));
+      source_arcs_.push_back(network_->AddArc(s, v + 1, m_));
       degrees_.push_back(static_cast<double>(graph.Degree(v)));
-      alpha_arcs_.push_back(network_.AddArc(v + 1, t, m_));
+      alpha_arcs_.push_back(network_->AddArc(v + 1, t, m_));
     }
     for (const Edge& e : graph.Edges()) {
-      network_.AddArc(e.first + 1, e.second + 1, 1.0);
-      network_.AddArc(e.second + 1, e.first + 1, 1.0);
+      network_->AddArc(e.first + 1, e.second + 1, 1.0);
+      network_->AddArc(e.second + 1, e.first + 1, 1.0);
     }
   }
 
   std::vector<VertexId> Solve(double alpha) override {
-    const NodeId t = static_cast<NodeId>(n_) + 1;
     for (VertexId v = 0; v < n_; ++v) {
-      network_.SetCapacity(alpha_arcs_[v], m_ + 2.0 * alpha - degrees_[v]);
+      network_->SetCapacity(alpha_arcs_[v], m_ + 2.0 * alpha - degrees_[v]);
     }
-    network_.MaxFlow(0, t);
-    return VerticesOnSourceSide(network_, n_);
-  }
-
-  uint64_t NumNodes() const override { return network_.num_nodes(); }
-
-  void ForceToSource(const std::vector<VertexId>& vertices) override {
-    for (VertexId v : vertices) {
-      network_.SetCapacity(source_arcs_[v], MaxFlowNetwork::kInfinity);
-    }
+    return SolveAndExtract();
   }
 
  private:
-  VertexId n_;
   double m_ = 0.0;
-  MaxFlowNetwork network_;
-  std::vector<ArcId> alpha_arcs_;
-  std::vector<ArcId> source_arcs_;
   std::vector<double> degrees_;
 };
 
 // Algorithm 1's network for h-cliques, h >= 3. Lambda nodes are the
 // (h-1)-clique instances.
-class CliqueFlowSolver : public DensestFlowSolver {
+class CliqueFlowSolver : public FlowSolverBase {
  public:
-  CliqueFlowSolver(const Graph& graph, int h, std::vector<uint64_t> degrees)
-      : n_(graph.NumVertices()), h_(h) {
+  CliqueFlowSolver(const Graph& graph, int h, std::vector<uint64_t> degrees,
+                   const ExecutionContext& ctx)
+      : FlowSolverBase(graph.NumVertices(), ctx), h_(h) {
     assert(h >= 3);
     assert(degrees.size() == graph.NumVertices());
     // Collect Lambda = (h-1)-cliques; `degrees` are the h-clique degrees,
@@ -92,7 +109,7 @@ class CliqueFlowSolver : public DensestFlowSolver {
 
     const NodeId num_nodes =
         static_cast<NodeId>(n_) + static_cast<NodeId>(lambda.size()) + 2;
-    network_ = std::make_unique<MaxFlowNetwork>(num_nodes);
+    network_ = std::make_unique<FlowNetwork>(num_nodes);
     const NodeId s = 0;
     const NodeId t = num_nodes - 1;
 
@@ -107,7 +124,7 @@ class CliqueFlowSolver : public DensestFlowSolver {
       const NodeId psi = static_cast<NodeId>(n_) + 1 + static_cast<NodeId>(i);
       const std::vector<VertexId>& members = lambda[i];
       for (VertexId v : members) {
-        network_->AddArc(psi, v + 1, MaxFlowNetwork::kInfinity);
+        network_->AddArc(psi, v + 1, FlowNetwork::kInfinity);
       }
       // v completes psi iff v is adjacent to every member: intersect the
       // members' sorted adjacency lists.
@@ -129,36 +146,23 @@ class CliqueFlowSolver : public DensestFlowSolver {
   }
 
   std::vector<VertexId> Solve(double alpha) override {
-    const NodeId t = network_->num_nodes() - 1;
     for (VertexId v = 0; v < n_; ++v) {
       network_->SetCapacity(alpha_arcs_[v], alpha * h_);
     }
-    network_->MaxFlow(0, t);
-    return VerticesOnSourceSide(*network_, n_);
-  }
-
-  uint64_t NumNodes() const override { return network_->num_nodes(); }
-
-  void ForceToSource(const std::vector<VertexId>& vertices) override {
-    for (VertexId v : vertices) {
-      network_->SetCapacity(source_arcs_[v], MaxFlowNetwork::kInfinity);
-    }
+    return SolveAndExtract();
   }
 
  private:
-  VertexId n_;
   int h_;
-  std::unique_ptr<MaxFlowNetwork> network_;
-  std::vector<ArcId> alpha_arcs_;
-  std::vector<ArcId> source_arcs_;
 };
 
 // Algorithm 8 (grouped = false) / construct+ Algorithm 7 (grouped = true).
-class PatternFlowSolver : public DensestFlowSolver {
+class PatternFlowSolver : public FlowSolverBase {
  public:
   PatternFlowSolver(const Graph& graph, const MotifOracle& oracle,
                     bool grouped, const ExecutionContext& ctx)
-      : n_(graph.NumVertices()), motif_size_(oracle.MotifSize()) {
+      : FlowSolverBase(graph.NumVertices(), ctx),
+        motif_size_(oracle.MotifSize()) {
     std::vector<InstanceGroup> groups = oracle.Groups(graph, {});
     if (!grouped) {
       // Expand each group into `multiplicity` single-instance nodes,
@@ -175,7 +179,7 @@ class PatternFlowSolver : public DensestFlowSolver {
 
     const NodeId num_nodes =
         static_cast<NodeId>(n_) + static_cast<NodeId>(groups.size()) + 2;
-    network_ = std::make_unique<MaxFlowNetwork>(num_nodes);
+    network_ = std::make_unique<FlowNetwork>(num_nodes);
     const NodeId s = 0;
     const NodeId t = num_nodes - 1;
     for (VertexId v = 0; v < n_; ++v) {
@@ -194,34 +198,21 @@ class PatternFlowSolver : public DensestFlowSolver {
   }
 
   std::vector<VertexId> Solve(double alpha) override {
-    const NodeId t = network_->num_nodes() - 1;
     for (VertexId v = 0; v < n_; ++v) {
       network_->SetCapacity(alpha_arcs_[v], alpha * motif_size_);
     }
-    network_->MaxFlow(0, t);
-    return VerticesOnSourceSide(*network_, n_);
-  }
-
-  uint64_t NumNodes() const override { return network_->num_nodes(); }
-
-  void ForceToSource(const std::vector<VertexId>& vertices) override {
-    for (VertexId v : vertices) {
-      network_->SetCapacity(source_arcs_[v], MaxFlowNetwork::kInfinity);
-    }
+    return SolveAndExtract();
   }
 
  private:
-  VertexId n_;
   int motif_size_;
-  std::unique_ptr<MaxFlowNetwork> network_;
-  std::vector<ArcId> alpha_arcs_;
-  std::vector<ArcId> source_arcs_;
 };
 
 }  // namespace
 
-std::unique_ptr<DensestFlowSolver> MakeEdsFlowSolver(const Graph& graph) {
-  return std::make_unique<EdsFlowSolver>(graph);
+std::unique_ptr<DensestFlowSolver> MakeEdsFlowSolver(
+    const Graph& graph, const ExecutionContext& ctx) {
+  return std::make_unique<EdsFlowSolver>(graph, ctx);
 }
 
 std::unique_ptr<DensestFlowSolver> MakeCliqueFlowSolver(
@@ -229,8 +220,8 @@ std::unique_ptr<DensestFlowSolver> MakeCliqueFlowSolver(
   // One dispatch path for the degree pass: the parallel oracle degrades to
   // the sequential enumeration under a 1-thread context.
   ParallelCliqueOracle oracle(h);
-  return std::make_unique<CliqueFlowSolver>(graph, h,
-                                            oracle.Degrees(graph, {}, ctx));
+  return std::make_unique<CliqueFlowSolver>(
+      graph, h, oracle.Degrees(graph, {}, ctx), ctx);
 }
 
 std::unique_ptr<DensestFlowSolver> MakePatternFlowSolver(
@@ -247,9 +238,9 @@ std::unique_ptr<DensestFlowSolver> MakeDefaultFlowSolver(
   // through the decorated `oracle`, keeping memoization and parallelism.
   if (const auto* clique =
           dynamic_cast<const CliqueOracle*>(&oracle.Underlying())) {
-    if (clique->h() == 2) return MakeEdsFlowSolver(graph);
-    return std::make_unique<CliqueFlowSolver>(graph, clique->h(),
-                                              oracle.Degrees(graph, {}, ctx));
+    if (clique->h() == 2) return MakeEdsFlowSolver(graph, ctx);
+    return std::make_unique<CliqueFlowSolver>(
+        graph, clique->h(), oracle.Degrees(graph, {}, ctx), ctx);
   }
   return MakePatternFlowSolver(graph, oracle, /*grouped=*/true, ctx);
 }

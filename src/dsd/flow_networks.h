@@ -25,11 +25,21 @@
 
 #include "dsd/execution_context.h"
 #include "dsd/motif_oracle.h"
+#include "dsd/result.h"
+#include "flow/flow_network.h"
 #include "graph/graph.h"
 
 namespace dsd {
 
 /// Binary-search oracle: min-cut feasibility test at a density guess.
+///
+/// Solvers run on the warm-startable flow/flow_network.h engine: the first
+/// Solve routes flow from scratch, each later Solve retunes the v->t
+/// capacities as residual deltas and re-routes only the difference, and
+/// discharge parallelises over the ExecutionContext the solver was built
+/// with (threads, deadline, cancel — a truncated Solve returns the cut of
+/// an incomplete flow, so callers re-validate candidates, as CoreExact
+/// does by re-measuring density).
 class DensestFlowSolver {
  public:
   virtual ~DensestFlowSolver() = default;
@@ -46,11 +56,32 @@ class DensestFlowSolver {
   /// min cut (s->v capacity becomes +inf). Used by the query-anchored
   /// variant of Section 6.3.
   virtual void ForceToSource(const std::vector<VertexId>& vertices) = 0;
+
+  /// When off, every Solve re-routes from scratch — the ablation baseline
+  /// (CoreExactOptions::flow_warm_start = false). Default on.
+  virtual void SetWarmStart(bool on) = 0;
+
+  /// Cumulative work counters of the underlying flow engine.
+  virtual FlowStats Stats() const = 0;
 };
+
+/// Folds a solver's flow-engine counters into per-run stats; the exact
+/// algorithms call this before dropping or rebuilding a solver.
+inline void AccumulateFlowStats(const DensestFlowSolver& solver,
+                                AlgoStats& stats) {
+  const FlowStats fs = solver.Stats();
+  stats.flow_max_flow_calls += fs.max_flow_calls;
+  stats.flow_warm_starts += fs.warm_starts;
+  stats.flow_discharges += fs.discharges;
+  stats.flow_pushes += fs.pushes;
+  stats.flow_relabels += fs.relabels;
+  stats.flow_global_relabels += fs.global_relabels;
+}
 
 /// Goldberg's EDS network (Section 4.1 remark): nodes {s} ∪ V ∪ {t};
 /// s->v cap m, v->t cap m + 2*alpha - deg(v), each edge 1 both ways.
-std::unique_ptr<DensestFlowSolver> MakeEdsFlowSolver(const Graph& graph);
+std::unique_ptr<DensestFlowSolver> MakeEdsFlowSolver(
+    const Graph& graph, const ExecutionContext& ctx = ExecutionContext());
 
 /// Algorithm 1's clique network: nodes {s} ∪ V ∪ Λ ∪ {t} with Λ the
 /// (h-1)-clique instances; s->v cap deg(v, Psi), v->t cap alpha*h,

@@ -26,6 +26,17 @@ struct AlgoStats {
   uint32_t kmax = 0;
   /// Vertices of the subgraph the CDS was located in before flow search.
   uint64_t located_vertices = 0;
+  /// Flow-engine work counters, summed over every min cut the run solved
+  /// (exact/core-exact only). warm_starts counts the MaxFlow calls that
+  /// reused the previous guess's preflow instead of re-routing from
+  /// scratch; discharges/pushes/relabels/global_relabels are the knobs
+  /// BENCH_flow.json compares warm vs. cold on.
+  uint64_t flow_max_flow_calls = 0;
+  uint64_t flow_warm_starts = 0;
+  uint64_t flow_discharges = 0;
+  uint64_t flow_pushes = 0;
+  uint64_t flow_relabels = 0;
+  uint64_t flow_global_relabels = 0;
 };
 
 /// A densest-subgraph answer.

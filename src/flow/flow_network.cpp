@@ -1,0 +1,418 @@
+#include "flow/flow_network.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+
+#include "parallel/parallel_for.h"
+
+namespace dsd {
+namespace {
+
+// All shared flow state (residual_, excess_, height_, queued_) lives in
+// plain vectors — std::atomic is not movable, so the vectors hold doubles
+// and ints and every access that can race goes through std::atomic_ref.
+// The per-round thread join is the synchronisation point; within a round
+// the default (seq_cst) orderings keep the invariant reasoning simple, and
+// the discharge loop is memory-bound anyway.
+
+inline double AtomLoad(const double& ref) {
+  return std::atomic_ref<double>(const_cast<double&>(ref)).load();
+}
+
+inline uint32_t AtomLoad(const uint32_t& ref) {
+  return std::atomic_ref<uint32_t>(const_cast<uint32_t&>(ref)).load();
+}
+
+/// Returns the value before the add (libstdc++ has no fetch_add for
+/// atomic_ref<double>, so emulate it with a CAS loop).
+inline double AtomAdd(double& ref, double delta) {
+  std::atomic_ref<double> atom(ref);
+  double old = atom.load();
+  while (!atom.compare_exchange_weak(old, old + delta)) {
+  }
+  return old;
+}
+
+inline void AtomStore(uint32_t& ref, uint32_t value) {
+  std::atomic_ref<uint32_t>(ref).store(value);
+}
+
+/// One-shot 0 -> 1 claim; the winner owns enqueueing the node.
+inline bool TryClaim(uint8_t& flag) {
+  std::atomic_ref<uint8_t> atom(flag);
+  uint8_t expected = 0;
+  return atom.compare_exchange_strong(expected, 1);
+}
+
+inline void ReleaseClaim(uint8_t& flag) {
+  std::atomic_ref<uint8_t>(flag).store(0);
+}
+
+/// Relabels consumed per node visit before it yields its worklist slot —
+/// keeps one stuck node from starving the round.
+constexpr uint32_t kMaxRelabelsPerVisit = 8;
+
+/// Below this frontier size a round stays on the calling thread: spawning
+/// workers costs more than the discharges they would do.
+constexpr size_t kParallelCutoff = 512;
+
+}  // namespace
+
+/// Per-worker scratch for one discharge round; merged after the join, so
+/// stats and the next frontier never race.
+struct FlowNetwork::WorkerState {
+  std::vector<NodeId> next;
+  uint64_t discharges = 0;
+  uint64_t pushes = 0;
+  uint64_t relabels = 0;
+  uint64_t work = 0;  // arc scans, for the global-relabel heartbeat
+};
+
+FlowNetwork::FlowNetwork(NodeId num_nodes)
+    : out_(num_nodes),
+      excess_(num_nodes, 0.0),
+      height_(num_nodes, 0),
+      cursor_(num_nodes, 0),
+      queued_(num_nodes, 0) {}
+
+FlowNetwork::ArcId FlowNetwork::AddArc(NodeId from, NodeId to,
+                                       double capacity) {
+  assert(from < num_nodes() && to < num_nodes());
+  assert(capacity >= 0.0);
+  const ArcId id = static_cast<ArcId>(to_.size());
+  to_.push_back(to);
+  capacity_.push_back(capacity);
+  residual_.push_back(capacity);
+  out_[from].push_back(id);
+  to_.push_back(from);
+  capacity_.push_back(0.0);
+  residual_.push_back(0.0);
+  out_[to].push_back(id + 1);
+  return id;
+}
+
+void FlowNetwork::SetCapacity(ArcId arc, double capacity) {
+  assert(arc < num_arcs());
+  assert((arc & 1u) == 0 &&
+         "SetCapacity takes forward arc ids (as returned by AddArc); "
+         "retuning a reverse arc would corrupt the residual invariant");
+  assert(capacity >= 0.0);
+  if (arc >= num_arcs() || (arc & 1u) != 0) return;  // release-mode reject
+  capacity_[arc] = capacity;
+  capacity_[arc ^ 1] = 0.0;
+  if (!primed_) {
+    // No live preflow yet; the upcoming cold start copies capacities, but
+    // keep residuals coherent for callers that inspect them pre-solve.
+    residual_[arc] = capacity;
+    residual_[arc ^ 1] = 0.0;
+    return;
+  }
+  // Live preflow: apply the retune as a residual delta. The reverse
+  // configured capacity is 0, so the reverse residual IS the carried flow
+  // (this stays finite even when the forward capacity is kInfinity).
+  const double flow = residual_[arc ^ 1];
+  if (capacity >= flow) {
+    residual_[arc] = capacity - flow;
+    return;
+  }
+  // The new capacity no longer covers the carried flow: truncate to
+  // `capacity` and hand the surplus back to the tail as excess.
+  const double surplus = flow - capacity;
+  residual_[arc] = 0.0;
+  residual_[arc ^ 1] = capacity;
+  const NodeId tail = to_[arc ^ 1];
+  const NodeId head = to_[arc];
+  if (head == last_t_ && tail != last_t_) {
+    excess_[tail] += surplus;
+    excess_[last_t_] -= surplus;  // the flow counter at t shrinks
+  } else if (head == last_s_ && tail != last_s_) {
+    excess_[tail] += surplus;  // flow that had returned to s; reroutable
+  } else {
+    // Truncating an interior arc leaves its head with more outflow than
+    // inflow — a deficit the preflow model cannot carry. The DSD solvers
+    // only retune s->v and v->t arcs, so this path never fires there;
+    // for generic callers the next MaxFlow falls back to a cold start.
+    force_cold_ = true;
+  }
+}
+
+void FlowNetwork::ColdInit() {
+  residual_ = capacity_;
+  std::fill(excess_.begin(), excess_.end(), 0.0);
+}
+
+/// Exact-distance relabel of every node against the current residual graph:
+/// a two-ended BFS from t (height = distance to t) then from s (height =
+/// n + distance to s, the phase-2 labels that route trapped excess back to
+/// the source). Runs sequentially between discharge rounds, so plain
+/// accesses are safe. Also resets the arc cursors — exact heights
+/// invalidate saved scan positions.
+void FlowNetwork::GlobalRelabel(NodeId s, NodeId t) {
+  ++stats_.global_relabels;
+  const NodeId n = num_nodes();
+  const uint32_t unreachable = 2 * n;
+  std::fill(height_.begin(), height_.end(), unreachable);
+  bfs_queue_.clear();
+  height_[t] = 0;
+  bfs_queue_.push_back(t);
+  for (size_t head = 0; head < bfs_queue_.size(); ++head) {
+    const NodeId v = bfs_queue_[head];
+    const uint32_t dv = height_[v];
+    for (const ArcId a : out_[v]) {
+      const NodeId w = to_[a];
+      // w can still push to v iff the arc w->v (the pair of v's arc a)
+      // has residual left.
+      if (height_[w] == unreachable && w != s && residual_[a ^ 1] > kEps) {
+        height_[w] = dv + 1;
+        bfs_queue_.push_back(w);
+      }
+    }
+  }
+  height_[s] = n;
+  bfs_queue_.clear();
+  bfs_queue_.push_back(s);
+  for (size_t head = 0; head < bfs_queue_.size(); ++head) {
+    const NodeId v = bfs_queue_[head];
+    const uint32_t dv = height_[v];
+    for (const ArcId a : out_[v]) {
+      const NodeId w = to_[a];
+      if (height_[w] == unreachable && residual_[a ^ 1] > kEps) {
+        height_[w] = dv + 1;  // = n + distance-to-s, < 2n
+        bfs_queue_.push_back(w);
+      }
+    }
+  }
+  // Nodes still at 2n have no residual path to s, so they cannot hold
+  // excess (excess always arrives over an arc whose reversal leads back
+  // to the source); leaving them parked is safe.
+  std::fill(cursor_.begin(), cursor_.end(), 0);
+}
+
+void FlowNetwork::BuildFrontier(NodeId s, NodeId t,
+                                std::vector<NodeId>& frontier) {
+  const NodeId n = num_nodes();
+  const uint32_t hmax = 2 * n;
+  frontier.clear();
+  std::fill(queued_.begin(), queued_.end(), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != s && v != t && excess_[v] > kEps && height_[v] < hmax) {
+      queued_[v] = 1;
+      frontier.push_back(v);
+    }
+  }
+}
+
+double FlowNetwork::MaxFlow(NodeId s, NodeId t, const ExecutionContext& ctx) {
+  const NodeId n = num_nodes();
+  assert(s < n && t < n && s != t);
+  (void)n;
+  ++stats_.max_flow_calls;
+  const bool warm =
+      warm_start_ && primed_ && !force_cold_ && s == last_s_ && t == last_t_;
+  if (warm) {
+    ++stats_.warm_starts;
+  } else {
+    ColdInit();
+  }
+  last_s_ = s;
+  last_t_ = t;
+  primed_ = true;
+  force_cold_ = false;
+
+  // Exact heights first, then (re-)saturate the source arcs whose head can
+  // still reach t. On a warm start most of these arcs are already
+  // saturated (their flow survived the retune), so this pushes only the
+  // delta the previous solve bounced back to s.
+  GlobalRelabel(s, t);
+  // Infinite source arcs (ForceToSource) cannot be saturated literally —
+  // infinite excess would go NaN when bounced back to s. Inject a finite
+  // surrogate instead: 1 + the sum of finite capacities bounds any s-t
+  // flow (every DSD network cuts finitely at t), and capping the
+  // outstanding injection at that bound keeps warm restarts from
+  // re-injecting flow the previous solve already placed.
+  double finite_bound = -1.0;
+  for (const ArcId a : out_[s]) {
+    double amount = residual_[a];
+    if (!(amount > kEps) || height_[to_[a]] >= num_nodes()) continue;
+    const NodeId w = to_[a];
+    if (std::isinf(amount)) {
+      if (finite_bound < 0.0) {
+        finite_bound = 1.0;
+        for (ArcId f = 0; f < num_arcs(); f += 2) {
+          if (!std::isinf(capacity_[f])) finite_bound += capacity_[f];
+        }
+      }
+      amount = finite_bound - residual_[a ^ 1];  // minus flow already placed
+      if (!(amount > kEps)) continue;
+      // residual_[a] stays infinite: the arc is never saturated, keeping w
+      // on the source side of every cut.
+    } else {
+      residual_[a] = 0.0;
+    }
+    residual_[a ^ 1] += amount;
+    excess_[w] += amount;
+  }
+
+  Discharge(s, t, ctx);
+  return excess_[t];
+}
+
+void FlowNetwork::Discharge(NodeId s, NodeId t, const ExecutionContext& ctx) {
+  // Heartbeat: refresh exact heights after ~one residual-graph sweep worth
+  // of scan work — the amortised replacement for the sequential backend's
+  // per-relabel Gap scan.
+  const uint64_t gr_interval =
+      std::max<uint64_t>(4ull * num_nodes() + num_arcs(), 1024);
+  std::vector<NodeId> frontier;
+  BuildFrontier(s, t, frontier);
+  uint64_t work_since_gr = 0;
+
+  while (!ctx.ShouldStop()) {
+    if (frontier.empty()) {
+      // Concurrent relabels can overshoot exact distances and park nodes
+      // at 2n with excess; one exact relabel re-admits them. Done only
+      // when the frontier is empty against exact heights.
+      GlobalRelabel(s, t);
+      BuildFrontier(s, t, frontier);
+      work_since_gr = 0;
+      if (frontier.empty()) return;
+      continue;
+    }
+    if (work_since_gr >= gr_interval) {
+      GlobalRelabel(s, t);
+      BuildFrontier(s, t, frontier);
+      work_since_gr = 0;
+      continue;
+    }
+    const unsigned threads =
+        ResolveThreadCount(ctx.threads, frontier.size());
+    if (threads <= 1 || frontier.size() < kParallelCutoff) {
+      WorkerState local;
+      for (const NodeId v : frontier) {
+        ReleaseClaim(queued_[v]);
+        DischargeNode(v, s, t, local);
+      }
+      frontier.swap(local.next);
+      stats_.discharges += local.discharges;
+      stats_.pushes += local.pushes;
+      stats_.relabels += local.relabels;
+      work_since_gr += local.work;
+    } else {
+      std::vector<WorkerState> states(threads);
+      ParallelForStrided(frontier.size(), threads,
+                         [&](unsigned worker, uint64_t i) {
+                           const NodeId v = frontier[i];
+                           // Release before discharging so excess arriving
+                           // mid-visit re-enqueues v for the next round.
+                           ReleaseClaim(queued_[v]);
+                           DischargeNode(v, s, t, states[worker]);
+                         });
+      frontier.clear();
+      for (const WorkerState& st : states) {
+        frontier.insert(frontier.end(), st.next.begin(), st.next.end());
+        stats_.discharges += st.discharges;
+        stats_.pushes += st.pushes;
+        stats_.relabels += st.relabels;
+        work_since_gr += st.work;
+      }
+    }
+  }
+}
+
+void FlowNetwork::DischargeNode(NodeId v, NodeId s, NodeId t,
+                                WorkerState& local) {
+  const uint32_t hmax = 2 * num_nodes();
+  const std::vector<ArcId>& arcs = out_[v];
+  double ev = AtomLoad(excess_[v]);
+  if (ev <= kEps) return;
+  ++local.discharges;
+  uint32_t relabels_left = kMaxRelabelsPerVisit;
+  uint32_t cur = cursor_[v];
+  while (true) {
+    const uint32_t hv = AtomLoad(height_[v]);
+    if (hv >= hmax) {
+      // Parked above every label; the next global relabel re-admits v if
+      // it still holds excess.
+      cursor_[v] = 0;
+      return;
+    }
+    while (cur < arcs.size() && ev > kEps) {
+      const ArcId a = arcs[cur];
+      ++local.work;
+      const double ra = AtomLoad(residual_[a]);
+      // A concurrent relabel of the head can make this check stale — the
+      // push then lands one level too low. Harmless: the preflow stays
+      // valid, and the heartbeat's exact relabel restores admissibility.
+      if (ra > kEps && hv == AtomLoad(height_[to_[a]]) + 1) {
+        const NodeId w = to_[a];
+        const double amount = std::min(ev, ra);
+        AtomAdd(residual_[a], -amount);
+        AtomAdd(residual_[a ^ 1], amount);
+        AtomAdd(excess_[v], -amount);
+        const double w_before = AtomAdd(excess_[w], amount);
+        ev -= amount;
+        ++local.pushes;
+        // Inactive -> active transition: exactly one pusher sees the old
+        // excess at/below the floor and owns the (claimed) enqueue.
+        if (w_before <= kEps && w != s && w != t && TryClaim(queued_[w])) {
+          local.next.push_back(w);
+        }
+        if (ev > kEps) ++cur;  // arc saturated; otherwise stay on it
+      } else {
+        ++cur;
+      }
+    }
+    // Re-read: pushes from other workers may have landed mid-visit.
+    ev = AtomLoad(excess_[v]);
+    if (ev <= kEps) {
+      cursor_[v] = cur;
+      return;
+    }
+    if (cur < arcs.size()) continue;  // fresh excess, cursor still live
+    if (relabels_left == 0) {
+      // Yield the slot instead of monopolising the round.
+      cursor_[v] = cur;
+      if (TryClaim(queued_[v])) local.next.push_back(v);
+      return;
+    }
+    --relabels_left;
+    uint32_t best = hmax;
+    for (const ArcId a : arcs) {
+      ++local.work;
+      if (AtomLoad(residual_[a]) > kEps) {
+        const uint32_t hw = AtomLoad(height_[to_[a]]);
+        if (hw + 1 < best) best = hw + 1;
+      }
+    }
+    const uint32_t hv_now = AtomLoad(height_[v]);
+    AtomStore(height_[v], std::min(std::max(best, hv_now + 1), hmax));
+    ++local.relabels;
+    cur = 0;
+  }
+}
+
+std::vector<FlowNetwork::NodeId> FlowNetwork::MinCutSourceSide(
+    NodeId s) const {
+  std::vector<char> seen(num_nodes(), 0);
+  std::vector<NodeId> stack = {s};
+  seen[s] = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const ArcId a : out_[v]) {
+      if (residual_[a] > kEps && !seen[to_[a]]) {
+        seen[to_[a]] = 1;
+        stack.push_back(to_[a]);
+      }
+    }
+  }
+  std::vector<NodeId> side;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (seen[v]) side.push_back(v);
+  }
+  return side;
+}
+
+}  // namespace dsd

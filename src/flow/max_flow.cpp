@@ -26,8 +26,13 @@ MaxFlowNetwork::ArcId MaxFlowNetwork::AddArc(NodeId from, NodeId to,
 
 void MaxFlowNetwork::SetCapacity(ArcId arc, double capacity) {
   assert(arc < num_arcs());
+  assert((arc & 1u) == 0 &&
+         "SetCapacity takes forward arc ids (as returned by AddArc); "
+         "retuning a reverse arc would corrupt the residual invariant");
   assert(capacity >= 0);
+  if (arc >= num_arcs() || (arc & 1u) != 0) return;  // release-mode reject
   initial_capacity_[arc] = capacity;
+  initial_capacity_[arc ^ 1] = 0.0;
 }
 
 bool MaxFlowNetwork::BuildLevels(NodeId s, NodeId t) {

@@ -24,7 +24,12 @@ PushRelabelNetwork::ArcId PushRelabelNetwork::AddArc(NodeId from, NodeId to,
 
 void PushRelabelNetwork::SetCapacity(ArcId arc, double capacity) {
   assert(arc < to_.size());
+  assert((arc & 1u) == 0 &&
+         "SetCapacity takes forward arc ids (as returned by AddArc); "
+         "retuning a reverse arc would corrupt the residual invariant");
+  if (arc >= to_.size() || (arc & 1u) != 0) return;  // release-mode reject
   initial_capacity_[arc] = capacity;
+  initial_capacity_[arc ^ 1] = 0.0;
 }
 
 void PushRelabelNetwork::Push(NodeId v, ArcId arc) {
@@ -33,8 +38,9 @@ void PushRelabelNetwork::Push(NodeId v, ArcId arc) {
   residual_[arc] -= amount;
   residual_[arc ^ 1] += amount;
   excess_[v] -= amount;
-  if (excess_[w] <= kEps && amount > kEps) {
-    // w becomes active.
+  if (excess_[w] <= kEps && amount > kEps && w != t_ && w != s_) {
+    // w becomes active (never s or t: they are skipped on pop anyway, so
+    // enqueueing them is pure queue churn).
     if (height_[w] < active_.size()) {
       active_[height_[w]].push_back(w);
       highest_ = std::max(highest_, height_[w]);
@@ -70,6 +76,8 @@ void PushRelabelNetwork::Gap(uint32_t gap_height) {
 double PushRelabelNetwork::MaxFlow(NodeId s, NodeId t) {
   const NodeId n = num_nodes();
   assert(s < n && t < n && s != t);
+  s_ = s;
+  t_ = t;
   residual_ = initial_capacity_;
   excess_.assign(n, 0.0);
   height_.assign(n, 0);

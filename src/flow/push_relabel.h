@@ -59,6 +59,9 @@ class PushRelabelNetwork {
   // Highest-label bucket queue of active nodes.
   std::vector<std::vector<NodeId>> active_;
   uint32_t highest_ = 0;
+  // Terminals of the running MaxFlow; Push never activates them.
+  NodeId s_ = 0;
+  NodeId t_ = 0;
 };
 
 }  // namespace dsd

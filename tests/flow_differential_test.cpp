@@ -1,0 +1,231 @@
+// Randomized differential suite for the flow layer (validation label).
+//
+// Three layers of cross-checks:
+//   * FlowNetwork vs. an augmenting-path reference and vs. the Dinic
+//     backend on seeded random networks — flow values and minimal min-cut
+//     source sides must agree exactly (integral capacities keep double
+//     arithmetic exact, so equality is bitwise).
+//   * Warm-started alpha schedules vs. a freshly built cold network at
+//     every step, including schedules that shrink capacities below the
+//     carried flow, plus deadline/cancel truncation with resume.
+//   * CoreExact end to end: warm vs. cold flow search, across thread
+//     counts, must return the identical densest subgraph.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <vector>
+
+#include "dsd/core_exact.h"
+#include "dsd/exact.h"
+#include "dsd/execution_context.h"
+#include "dsd/motif_oracle.h"
+#include "flow/flow_network.h"
+#include "flow/max_flow.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace dsd {
+namespace {
+
+using NodeId = FlowNetwork::NodeId;
+
+// Reference: Ford-Fulkerson with BFS augmenting paths on an adjacency
+// matrix (same oracle flow_test.cpp checks Dinic against).
+double ReferenceMaxFlow(std::vector<std::vector<double>> cap, int s, int t) {
+  const int n = static_cast<int>(cap.size());
+  double flow = 0;
+  while (true) {
+    std::vector<int> parent(n, -1);
+    parent[s] = s;
+    std::vector<int> queue = {s};
+    for (size_t qi = 0; qi < queue.size() && parent[t] == -1; ++qi) {
+      int v = queue[qi];
+      for (int w = 0; w < n; ++w) {
+        if (parent[w] == -1 && cap[v][w] > 1e-9) {
+          parent[w] = v;
+          queue.push_back(w);
+        }
+      }
+    }
+    if (parent[t] == -1) break;
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (int v = t; v != s; v = parent[v]) {
+      bottleneck = std::min(bottleneck, cap[parent[v]][v]);
+    }
+    for (int v = t; v != s; v = parent[v]) {
+      cap[parent[v]][v] -= bottleneck;
+      cap[v][parent[v]] += bottleneck;
+    }
+    flow += bottleneck;
+  }
+  return flow;
+}
+
+class FlowDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowDifferentialTest, MatchesReferenceAndDinic) {
+  Rng rng(GetParam());
+  const int n = 2 + static_cast<int>(rng.NextBounded(12));
+  std::vector<std::vector<double>> cap(n, std::vector<double>(n, 0.0));
+  FlowNetwork net(n);
+  MaxFlowNetwork dinic(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u != v && rng.NextBernoulli(0.4)) {
+        const double c = static_cast<double>(rng.NextBounded(10));
+        cap[u][v] += c;
+        net.AddArc(u, v, c);
+        dinic.AddArc(u, v, c);
+      }
+    }
+  }
+  const double expected = ReferenceMaxFlow(cap, 0, n - 1);
+  EXPECT_EQ(net.MaxFlow(0, n - 1), expected);
+  EXPECT_EQ(dinic.MaxFlow(0, n - 1), expected);
+  // The minimal min-cut source side is unique across max flows, so two
+  // independent engines must extract the identical set.
+  const auto side = net.MinCutSourceSide(0);
+  const std::vector<NodeId> dinic_side = dinic.MinCutSourceSide(0);
+  EXPECT_EQ(side, dinic_side);
+}
+
+TEST_P(FlowDifferentialTest, WarmScheduleMatchesColdBitwise) {
+  // Random layered "alpha network" + a random dyadic retune schedule for
+  // the sink arcs. After each retune, the warm-started network must match
+  // a cold-built one bitwise on value and cut — including steps where the
+  // new capacity undercuts the carried flow.
+  Rng rng(1000 + GetParam());
+  const NodeId middle = 4 + static_cast<NodeId>(rng.NextBounded(12));
+  const NodeId t = middle + 1;
+  std::vector<double> source_caps(middle);
+  std::vector<std::pair<NodeId, NodeId>> cross;
+  for (NodeId v = 0; v < middle; ++v) {
+    source_caps[v] = static_cast<double>(rng.NextBounded(9));
+    for (NodeId w = 0; w < middle; ++w) {
+      if (v != w && rng.NextBernoulli(0.25)) cross.push_back({v, w});
+    }
+  }
+  // Both networks must get the same cross-arc capacities: record them once
+  // instead of re-running the rng per build.
+  std::vector<double> cross_caps;
+  for (size_t i = 0; i < cross.size(); ++i) {
+    cross_caps.push_back(static_cast<double>(1 + rng.NextBounded(3)));
+  }
+  auto build_fixed = [&](FlowNetwork& net,
+                         std::vector<FlowNetwork::ArcId>& alpha) {
+    for (NodeId v = 0; v < middle; ++v) {
+      net.AddArc(0, v + 1, source_caps[v]);
+      alpha.push_back(net.AddArc(v + 1, t, 0.0));
+    }
+    for (size_t i = 0; i < cross.size(); ++i) {
+      net.AddArc(cross[i].first + 1, cross[i].second + 1, cross_caps[i]);
+    }
+  };
+  FlowNetwork warm(middle + 2);
+  std::vector<FlowNetwork::ArcId> warm_alpha;
+  build_fixed(warm, warm_alpha);
+  for (int step = 0; step < 8; ++step) {
+    const double alpha = static_cast<double>(rng.NextBounded(65)) / 8.0;
+    for (const auto arc : warm_alpha) warm.SetCapacity(arc, alpha);
+    FlowNetwork cold(middle + 2);
+    std::vector<FlowNetwork::ArcId> cold_alpha;
+    build_fixed(cold, cold_alpha);
+    for (const auto arc : cold_alpha) cold.SetCapacity(arc, alpha);
+    ASSERT_EQ(warm.MaxFlow(0, t), cold.MaxFlow(0, t))
+        << "seed=" << GetParam() << " step=" << step << " alpha=" << alpha;
+    ASSERT_EQ(warm.MinCutSourceSide(0), cold.MinCutSourceSide(0))
+        << "seed=" << GetParam() << " step=" << step << " alpha=" << alpha;
+  }
+}
+
+TEST_P(FlowDifferentialTest, TruncatedSolveResumesToExactValue) {
+  Rng rng(2000 + GetParam());
+  const int n = 6 + static_cast<int>(rng.NextBounded(10));
+  FlowNetwork net(n);
+  FlowNetwork reference(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u != v && rng.NextBernoulli(0.4)) {
+        const double c = static_cast<double>(rng.NextBounded(8));
+        net.AddArc(u, v, c);
+        reference.AddArc(u, v, c);
+      }
+    }
+  }
+  const double expected = reference.MaxFlow(0, n - 1);
+  // Cancelled from the start: the call returns its (possibly zero)
+  // flow-so-far and must leave the preflow consistent.
+  std::atomic<bool> cancelled{true};
+  const double truncated = net.MaxFlow(
+      0, n - 1, ExecutionContext().WithCancelFlag(&cancelled));
+  EXPECT_LE(truncated, expected + FlowNetwork::kEps);
+  cancelled.store(false);
+  EXPECT_EQ(net.MaxFlow(0, n - 1), expected);
+  EXPECT_EQ(net.MinCutSourceSide(0), reference.MinCutSourceSide(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowDifferentialTest,
+                         ::testing::Range(0, 25));
+
+// End to end: CoreExact's densest-subgraph answer must be identical with
+// the warm-started flow search, the cold ablation, and across thread
+// budgets (the acceptance bar bench_flow re-checks at registry scale).
+TEST(FlowDifferentialCoreExact, WarmColdAndThreadsAgree) {
+  for (const uint64_t seed : {3u, 11u}) {
+    // ER, not planted cliques: on a planted clique Theorem 1's lower bound
+    // is already the optimum ((c-1)/2 = kmax/2) and the search ends after
+    // one infeasibility cut, leaving nothing to warm-start.
+    const Graph g = gen::ErdosRenyi(150, 0.12, seed);
+    for (const int h : {2, 3}) {
+      CliqueOracle oracle(h);
+      // Pruning1/2 can make the search trivial (the peeled bound is already
+      // optimal, one infeasible cut per component); disable them so the
+      // binary search genuinely iterates and warm starts have work to skip.
+      CoreExactOptions warm_options;
+      warm_options.pruning1 = false;
+      warm_options.pruning2 = false;
+      const DensestResult baseline = CoreExact(g, oracle, warm_options);
+      EXPECT_GT(baseline.stats.flow_warm_starts, 0u)
+          << "seed=" << seed << " h=" << h;
+      CoreExactOptions cold_options = warm_options;
+      cold_options.flow_warm_start = false;
+      const DensestResult cold = CoreExact(g, oracle, cold_options);
+      EXPECT_EQ(cold.stats.flow_warm_starts, 0u);
+      EXPECT_EQ(baseline.vertices, cold.vertices) << "seed=" << seed;
+      EXPECT_EQ(baseline.density, cold.density) << "seed=" << seed;
+      for (const unsigned threads : {2u, 4u}) {
+        const DensestResult parallel =
+            CoreExact(g, oracle, warm_options,
+                      ExecutionContext().WithThreads(threads));
+        EXPECT_EQ(baseline.vertices, parallel.vertices)
+            << "seed=" << seed << " h=" << h << " threads=" << threads;
+        EXPECT_EQ(baseline.density, parallel.density)
+            << "seed=" << seed << " h=" << h << " threads=" << threads;
+      }
+      // Default options (all prunings on) must land on the same subgraph.
+      const DensestResult pruned = CoreExact(g, oracle);
+      EXPECT_EQ(baseline.density, pruned.density)
+          << "seed=" << seed << " h=" << h;
+    }
+  }
+}
+
+TEST(FlowDifferentialExact, WarmSearchMatchesPeeledTruth) {
+  // Exact (whole-graph binary search, warm-started by default) against
+  // the same run under a multi-thread context.
+  const Graph g = gen::PlantedClique(80, 0.06, 10, 17);
+  CliqueOracle edge(2);
+  const DensestResult sequential = Exact(g, edge);
+  EXPECT_GT(sequential.stats.flow_warm_starts, 0u);
+  EXPECT_GT(sequential.stats.flow_max_flow_calls,
+            sequential.stats.flow_warm_starts);
+  const DensestResult parallel =
+      Exact(g, edge, ExecutionContext().WithThreads(4));
+  EXPECT_EQ(sequential.vertices, parallel.vertices);
+  EXPECT_EQ(sequential.density, parallel.density);
+}
+
+}  // namespace
+}  // namespace dsd
