@@ -70,14 +70,23 @@ for target in "${targets[@]}"; do
     echo "wrote $json"
   elif [[ $target == bench_threads || $target == bench_peel ]]; then
     # Thread-scaling / peeling-engine benches: machine-readable JSON
-    # (algo x motif x graph x threads x wall time) for trend tracking.
+    # (algo x motif x graph x threads x wall time, plus the pipeline
+    # counters — brackets_overlapped, speculation hits/misses, refill and
+    # apply-stall time — on every bench_peel record) for trend tracking.
     # Each multi-threaded row is parity-checked in-bench against its
-    # sequential baseline; a divergence is a correctness bug in the
-    # parallel kernels, not a perf regression — fail the whole run.
+    # sequential baseline, and bench_peel additionally runs the serial and
+    # pipelined peel engines head-to-head on the registry rungs: the
+    # outputs must be bit-identical, the pipeline must genuinely overlap
+    # (brackets_overlapped > 0, hit-rate >= 50%), and on pl-100k the
+    # pipelined apply stall must stay strictly below the serial refill
+    # time. Any of those failing is a correctness/perf bug in the peel
+    # engine, not noise — fail the whole run.
     json="$OUT_DIR/BENCH_${target#bench_}.json"
     if ! "$bin" "$json"; then
-      echo "FAIL: $target reported a thread-parity divergence (a" >&2
-      echo "multi-threaded answer differed from the sequential baseline);" >&2
+      echo "FAIL: $target reported a parity divergence (a multi-threaded" >&2
+      echo "or pipelined answer differed from the sequential/serial" >&2
+      echo "baseline) or a blown pipeline contract (no overlap, low" >&2
+      echo "speculation hit-rate, or apply stall >= serial refill time);" >&2
       echo "see the bench output above. Aborting." >&2
       exit 1
     fi

@@ -39,7 +39,9 @@ DensestResult CoreApp(const Graph& graph, const MotifOracle& oracle,
     if (kmax == 0) {
       // Bootstrap: no core level established yet; decompose the window.
       Subgraph sub = InducedSubgraph(graph, prefix);
-      kmax = MotifCoreDecompose(sub.graph, oracle, ctx).kmax;
+      MotifCoreDecomposition boot = MotifCoreDecompose(sub.graph, oracle, ctx);
+      result.stats.peel.Add(boot.peel_stats);
+      kmax = boot.kmax;
     } else {
       // Algorithm 6 lines 7-14: only chase cores of order > kmax. Peeling
       // the window at level kmax+1 discards almost everything instantly
@@ -49,9 +51,10 @@ DensestResult CoreApp(const Graph& graph, const MotifOracle& oracle,
           RestrictToCore(graph, oracle, prefix, kmax + 1, ctx);
       if (!survivors.empty()) {
         Subgraph sub = InducedSubgraph(graph, survivors);
-        uint64_t refined =
-            MotifCoreDecompose(sub.graph, oracle, ctx).kmax;
-        kmax = std::max(kmax + 1, refined);
+        MotifCoreDecomposition refined =
+            MotifCoreDecompose(sub.graph, oracle, ctx);
+        result.stats.peel.Add(refined.peel_stats);
+        kmax = std::max(kmax + 1, refined.kmax);
       }
     }
     if (window == n) break;

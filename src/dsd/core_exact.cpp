@@ -55,6 +55,7 @@ DensestResult CoreExact(const Graph& graph, const MotifOracle& oracle,
   result.stats.decomposition_seconds = decomposition_timer.Seconds();
   result.stats.kmax = static_cast<uint32_t>(
       std::min<uint64_t>(decomposition.kmax, UINT32_MAX));
+  result.stats.peel.Add(decomposition.peel_stats);
   if (decomposition.kmax == 0) {
     // No motif instance anywhere: density 0, empty answer.
     FillResult(graph, oracle, {}, result, ctx);

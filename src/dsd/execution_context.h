@@ -13,8 +13,10 @@
 #ifndef DSD_DSD_EXECUTION_CONTEXT_H_
 #define DSD_DSD_EXECUTION_CONTEXT_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 
 namespace dsd {
 
@@ -79,6 +81,64 @@ struct ExecutionContext {
   /// this at iteration granularity and return their best-so-far answer when
   /// it fires; exactness claims hold only for runs where it never fired.
   bool ShouldStop() const { return Cancelled() || Expired(); }
+};
+
+/// Amortised per-iteration stop poll for hot loops whose iterations vary
+/// wildly in cost (a peel removal can be nanoseconds on a sparse periphery
+/// or milliseconds through a hub). The cancel flag is a relaxed atomic load,
+/// so it is checked on EVERY call — cancellation truncates at exactly the
+/// iteration it was raised, which is what makes cancel-driven truncation
+/// deterministic for the differential tests. The deadline is a clock read,
+/// so it is sampled on an adaptive stride: the poller measures how many
+/// iterations elapse per clock read and resizes the stride toward one read
+/// per ~1ms of wall clock, replacing fixed "every 64 removals" cadences
+/// that overshoot on cheap iterations and under-poll on expensive ones.
+/// When the context has no deadline, no clock is ever read.
+class DeadlinePoller {
+ public:
+  explicit DeadlinePoller(const ExecutionContext& ctx) : ctx_(ctx) {}
+
+  /// Call once per iteration. True once the run should stop.
+  bool ShouldStop() {
+    if (ctx_.Cancelled()) return true;
+    if (!ctx_.HasDeadline()) return false;
+    if (++since_check_ < stride_) return false;
+    const auto now = ExecutionContext::Clock::now();
+    if (now >= ctx_.deadline) return true;
+    if (have_last_) {
+      // Retarget: `stride_` iterations took `elapsed`; scale toward one
+      // clock read per kTarget. Growth/shrink is clamped to 16x per
+      // adjustment so one anomalous measurement cannot blind the poller.
+      const auto elapsed = now - last_check_;
+      const double ratio =
+          elapsed.count() > 0
+              ? static_cast<double>(kTargetNs) /
+                    static_cast<double>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            elapsed)
+                            .count())
+              : 16.0;
+      const double scaled =
+          static_cast<double>(stride_) * std::min(16.0, std::max(ratio, 0.0625));
+      stride_ = static_cast<uint64_t>(
+          std::min(scaled, static_cast<double>(kMaxStride)));
+      if (stride_ == 0) stride_ = 1;
+    }
+    last_check_ = now;
+    have_last_ = true;
+    since_check_ = 0;
+    return false;
+  }
+
+ private:
+  static constexpr uint64_t kTargetNs = 1'000'000;  // ~1ms between clock reads
+  static constexpr uint64_t kMaxStride = uint64_t{1} << 20;
+
+  const ExecutionContext& ctx_;
+  uint64_t stride_ = 1;  // first deadline-bearing call always reads the clock
+  uint64_t since_check_ = 0;
+  ExecutionContext::Clock::time_point last_check_{};
+  bool have_last_ = false;
 };
 
 }  // namespace dsd

@@ -18,6 +18,7 @@ DensestResult DensestAtLeast(const Graph& graph, const MotifOracle& oracle,
       MotifCoreDecompose(graph, oracle, ctx);
   result.stats.kmax =
       static_cast<uint32_t>(std::min<uint64_t>(decomposition.kmax, UINT32_MAX));
+  result.stats.peel.Add(decomposition.peel_stats);
 
   // Scan residual graphs (suffixes of the removal order) that still have at
   // least min_size vertices; keep the densest. residual_density may be

@@ -14,6 +14,7 @@ DensestResult IncApp(const Graph& graph, const MotifOracle& oracle,
       MotifCoreDecompose(graph, oracle, ctx);
   result.stats.kmax =
       static_cast<uint32_t>(std::min<uint64_t>(decomposition.kmax, UINT32_MAX));
+  result.stats.peel.Add(decomposition.peel_stats);
   if (decomposition.kmax > 0) {
     FillResult(graph, oracle, decomposition.CoreVertices(decomposition.kmax),
                result, ctx);

@@ -16,22 +16,24 @@ namespace dsd {
 // ---------------------------------------------------------------------------
 // MotifOracle
 
-std::vector<uint64_t> MotifOracle::PeelBatch(const Graph& graph,
-                                             std::span<const VertexId> frontier,
-                                             std::span<char> alive,
-                                             const PeelCallback& cb,
-                                             const ExecutionContext& ctx) const {
+std::vector<uint64_t> MotifOracle::CountPeelBatch(
+    const Graph& graph, std::span<const VertexId> frontier,
+    std::span<char> alive, const PeelCallback& cb,
+    const ExecutionContext& ctx) const {
   std::vector<uint64_t> destroyed;
   destroyed.reserve(frontier.size());
-  uint32_t polls = 0;
+  // Cancel is checked per removal (deterministic truncation point); the
+  // deadline clock is sampled at the poller's adaptive ~1ms stride.
+  DeadlinePoller poller(ctx);
   for (VertexId v : frontier) {
-    // Same amortised cadence as the pre-batch engine: a deadline check is a
-    // clock read, so sample every 64 removals. The engine polls once more
-    // per bracket, so small brackets are covered either way.
-    if ((++polls & 63u) == 0 && ctx.ShouldStop()) break;
+    if (poller.ShouldStop()) break;
+    // Member i is peeled with frontier[0..i) dead: clear bits as the loop
+    // advances, then restore the processed prefix so the count stage leaves
+    // the mask exactly as it found it (the engine applies removals itself).
     alive[v] = 0;
     destroyed.push_back(PeelVertex(graph, v, alive, cb));
   }
+  for (size_t i = 0; i < destroyed.size(); ++i) alive[frontier[i]] = 1;
   return destroyed;
 }
 

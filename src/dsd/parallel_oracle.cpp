@@ -40,15 +40,16 @@ uint64_t ParallelCliqueOracle::CountInstancesImpl(
   return ParallelCliqueCount(sub.graph, h(), ctx.threads);
 }
 
-std::vector<uint64_t> ParallelCliqueOracle::PeelBatch(
+std::vector<uint64_t> ParallelCliqueOracle::CountPeelBatch(
     const Graph& graph, std::span<const VertexId> frontier,
     std::span<char> alive, const PeelCallback& cb,
     const ExecutionContext& ctx) const {
   if (ctx.threads <= 1 ||
       !WorthParallelPeel(frontier.size(), graph.NumVertices())) {
-    return CliqueOracle::PeelBatch(graph, frontier, alive, cb, ctx);
+    return CliqueOracle::CountPeelBatch(graph, frontier, alive, cb, ctx);
   }
-  return ParallelCliquePeelBatch(graph, h(), frontier, alive, cb, ctx);
+  return ParallelCliquePeelBatch(graph, h(), frontier, alive, cb, ctx,
+                                 /*consume_alive=*/false);
 }
 
 std::vector<uint64_t> ParallelPatternOracle::DegreesImpl(
@@ -81,7 +82,7 @@ uint64_t ParallelPatternOracle::CountInstancesImpl(
   return ParallelPatternCount(graph, plans(), alive, ctx.threads);
 }
 
-std::vector<uint64_t> ParallelPatternOracle::PeelBatch(
+std::vector<uint64_t> ParallelPatternOracle::CountPeelBatch(
     const Graph& graph, std::span<const VertexId> frontier,
     std::span<char> alive, const PeelCallback& cb,
     const ExecutionContext& ctx) const {
@@ -91,23 +92,24 @@ std::vector<uint64_t> ParallelPatternOracle::PeelBatch(
         WorthParallelPeel(frontier.size(), graph.NumVertices())) {
       if (star_tails() >= 2) {
         return ParallelStarPeelBatch(graph, star_tails(), frontier, alive, cb,
-                                     ctx);
+                                     ctx, /*consume_alive=*/false);
       }
       return ParallelFourCyclePeelBatch(graph, frontier, alive, cb, ctx,
-                                        scratch_budget_bytes_);
+                                        scratch_budget_bytes_,
+                                        /*consume_alive=*/false);
     }
     // Generic patterns shard through the rank-masked plan kernel; the
     // per-member peel is expensive enough that even small brackets win
     // (WorthParallelGenericPeel's laxer ratio).
     if (!closed_form &&
         WorthParallelGenericPeel(frontier.size(), graph.NumVertices())) {
-      return ParallelPatternPeelBatch(graph, plans(), frontier, alive, cb,
-                                      ctx);
+      return ParallelPatternPeelBatch(graph, plans(), frontier, alive, cb, ctx,
+                                      /*consume_alive=*/false);
     }
   }
   // Brackets too small to amortise worker spawn (or a sequential context)
   // keep the default PeelVertex loop.
-  return PatternOracle::PeelBatch(graph, frontier, alive, cb, ctx);
+  return PatternOracle::CountPeelBatch(graph, frontier, alive, cb, ctx);
 }
 
 }  // namespace dsd

@@ -17,6 +17,7 @@ DensestResult PeelApp(const Graph& graph, const MotifOracle& oracle,
       MotifCoreDecompose(graph, oracle, ctx);
   result.stats.kmax =
       static_cast<uint32_t>(std::min<uint64_t>(decomposition.kmax, UINT32_MAX));
+  result.stats.peel.Add(decomposition.peel_stats);
   if (decomposition.best_residual_density > 0.0) {
     FillResult(graph, oracle, decomposition.BestResidualVertices(), result,
                ctx);

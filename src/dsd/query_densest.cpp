@@ -76,6 +76,7 @@ DensestResult QueryDensest(const Graph& graph, const MotifOracle& oracle,
   result.stats.decomposition_seconds = decomposition_timer.Seconds();
   result.stats.kmax = static_cast<uint32_t>(
       std::min<uint64_t>(decomposition.kmax, UINT32_MAX));
+  result.stats.peel.Add(decomposition.peel_stats);
 
   uint64_t x = UINT64_MAX;
   for (VertexId q : query) x = std::min(x, decomposition.core[q]);

@@ -9,6 +9,41 @@
 
 namespace dsd {
 
+/// Instrumentation of the batch-bracket peel engine (MotifCoreDecompose).
+/// The pipelined engine overlaps bracket i+1's count ("refill") with
+/// bracket i's delta application; these counters say how often that overlap
+/// happened and how much refill latency still hit the solve thread.
+struct PeelEngineStats {
+  /// Brackets processed (every engine mode).
+  uint64_t brackets = 0;
+  /// Brackets whose count ran on the refill worker while the solve thread
+  /// applied the previous bracket (pipelined mode only).
+  uint64_t brackets_overlapped = 0;
+  /// Speculative counts committed: the popped bracket matched the engine's
+  /// post-apply prediction bit-for-bit.
+  uint64_t speculation_hits = 0;
+  /// Speculative opportunities lost: no prediction was possible, or the
+  /// popped bracket diverged from it and the plan was discarded/recounted.
+  uint64_t speculation_misses = 0;
+  /// Nanoseconds the solve thread spent blocked on counting — waiting for
+  /// the refill worker plus any count it had to run inline. In the serial
+  /// engine this equals refill_ns: every count stalls the solve thread.
+  uint64_t apply_stall_ns = 0;
+  /// Total nanoseconds spent counting brackets, wherever the count ran.
+  uint64_t refill_ns = 0;
+
+  /// Accumulates another decomposition's counters (one solve may run many
+  /// decompositions, e.g. CoreApp's windows).
+  void Add(const PeelEngineStats& other) {
+    brackets += other.brackets;
+    brackets_overlapped += other.brackets_overlapped;
+    speculation_hits += other.speculation_hits;
+    speculation_misses += other.speculation_misses;
+    apply_stall_ns += other.apply_stall_ns;
+    refill_ns += other.refill_ns;
+  }
+};
+
 /// Per-run instrumentation. Populated opportunistically by each algorithm;
 /// consumed by the reproduction harness (Figure 9, Figure 10, Table 3).
 struct AlgoStats {
@@ -37,6 +72,10 @@ struct AlgoStats {
   uint64_t flow_pushes = 0;
   uint64_t flow_relabels = 0;
   uint64_t flow_global_relabels = 0;
+  /// Peel-engine pipeline counters, summed over every decomposition the run
+  /// executed (peel/core-app/at-least/inc-app and CoreExact's location
+  /// pass). All zero for runs that never peeled.
+  PeelEngineStats peel;
 };
 
 /// A densest-subgraph answer.

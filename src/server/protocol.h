@@ -22,7 +22,14 @@
 //
 //   ok id=N wall=S threads=T density=D instances=I vertices=V
 //      members_hash=H [members=a,b,...]        (solve)
+//   ok id=N received=... completed=... failed=... shed=... coalesced=...
+//      queue=... running=... resident_bytes=... degree_hits=... ...  (stats)
 //   err id=N code=<Status::CodeName()> msg=<rest of line, may have spaces>
+//
+// `coalesced` counts solves answered by attaching to an identical solve
+// that was still queued (batch admission): each attached request still
+// receives its own response frame, bit-identical modulo its id and
+// members flag, but only one execution ran.
 //
 // `density` is printed with enough digits (%.17g) to round-trip the exact
 // double, and `members_hash` is an order-independent-free FNV-1a over the

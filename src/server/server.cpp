@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -70,7 +71,41 @@ std::string JoinComma(const std::vector<std::string>& items) {
   return joined;
 }
 
+/// Coalescing identity of a solve: every request field that can change the
+/// response payload except the request id and the members flag, which stay
+/// per-waiter. Fields are joined with a separator no field value contains,
+/// and doubles are rendered with round-trip precision so distinct budgets
+/// or eps values never collide.
+std::string CoalesceKeyFor(const WireRequest& request) {
+  char numeric[96];
+  std::snprintf(numeric, sizeof(numeric), "\x1f%.17g\x1f%llu\x1f%u\x1f%.17g",
+                request.solve.eps,
+                static_cast<unsigned long long>(request.solve.min_size),
+                request.solve.threads, request.solve.time_budget_seconds);
+  std::string key = request.graph;
+  key += '\x1f';
+  key += request.solve.algorithm;
+  key += '\x1f';
+  key += request.solve.motif;
+  key += numeric;
+  for (VertexId seed : request.solve.seeds) {
+    key += '\x1f';
+    key += std::to_string(seed);
+  }
+  return key;
+}
+
 }  // namespace
+
+/// The waiters owed a response from one coalesced solve execution.
+struct DsdServer::PendingSolve {
+  struct Waiter {
+    uint64_t id;
+    bool want_members;
+    std::function<void(std::string)> respond;
+  };
+  std::vector<Waiter> waiters;
+};
 
 // ---------------------------------------------------------------------------
 // CostModel
@@ -175,18 +210,58 @@ void DsdServer::HandleSolve(const WireRequest& request,
   const std::string cost_key = request.graph + "/" +
                                request.solve.algorithm + "/" +
                                request.solve.motif;
-  const uint64_t id = request.id;
   const SolveRequest solve_template = request.solve;
-  const bool want_members = request.want_members;
+
+  // Batch admission: if an identical solve is still queued, attach to it
+  // as an extra waiter — one execution will answer everybody — instead of
+  // burning a queue slot and a redundant solve.
+  const std::string coalesce_key = CoalesceKeyFor(request);
+  auto pending = std::make_shared<PendingSolve>();
+  {
+    std::lock_guard<std::mutex> lock(coalesce_mutex_);
+    // No attaching once draining: the shutdown contract is that solves
+    // arriving after the shutdown verb are refused, even when a queued
+    // twin could have answered them for free.
+    auto it = ShuttingDown() ? pending_solves_.end()
+                             : pending_solves_.find(coalesce_key);
+    if (it != pending_solves_.end()) {
+      it->second->waiters.push_back(
+          {request.id, request.want_members, std::move(respond)});
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    pending->waiters.push_back(
+        {request.id, request.want_members, std::move(respond)});
+    // emplace may find the key already mapped (only reachable in the
+    // draining race above); the job then detaches by pointer identity and
+    // this request simply rides its own single-waiter pending.
+    pending_solves_.emplace(coalesce_key, pending);
+  }
+
+  // Closes the coalescing window and takes ownership of every response
+  // owed so far. Runs as the job's first action (or on the shed path), so
+  // requests arriving later start a fresh solve rather than receiving a
+  // result computed before they were admitted.
+  auto detach = [this, coalesce_key, pending]() {
+    std::lock_guard<std::mutex> lock(coalesce_mutex_);
+    auto it = pending_solves_.find(coalesce_key);
+    if (it != pending_solves_.end() && it->second == pending) {
+      pending_solves_.erase(it);
+    }
+    return std::move(pending->waiters);
+  };
 
   ServerExecutor::Job job = [this, resident = std::move(resident), cost_key,
-                             id, solve_template, want_members,
-                             respond](unsigned thread_budget) {
+                             solve_template, detach](unsigned thread_budget) {
+    const std::vector<PendingSolve::Waiter> waiters = detach();
+    if (waiters.empty()) return;  // defensive: shed path already answered
     StatusOr<std::shared_ptr<const MotifOracle>> oracle =
         resident->OracleFor(solve_template.motif);
     if (!oracle.ok()) {
-      failed_.fetch_add(1, std::memory_order_relaxed);
-      respond(FormatError(id, oracle.status()));
+      failed_.fetch_add(waiters.size(), std::memory_order_relaxed);
+      for (const PendingSolve::Waiter& waiter : waiters) {
+        waiter.respond(FormatError(waiter.id, oracle.status()));
+      }
       return;
     }
     // The partition grant caps the request's own budget; an explicit
@@ -199,21 +274,29 @@ void DsdServer::HandleSolve(const WireRequest& request,
     StatusOr<SolveResponse> response =
         dsd::Solve(resident->graph(), *oracle.value(), solve);
     if (!response.ok()) {
-      failed_.fetch_add(1, std::memory_order_relaxed);
-      respond(FormatError(id, response.status()));
+      failed_.fetch_add(waiters.size(), std::memory_order_relaxed);
+      for (const PendingSolve::Waiter& waiter : waiters) {
+        waiter.respond(FormatError(waiter.id, response.status()));
+      }
       return;
     }
     cost_model_.Observe(cost_key, response.value().stats.wall_seconds);
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    respond(FormatSolveOk(id, response.value(), want_members));
+    completed_.fetch_add(waiters.size(), std::memory_order_relaxed);
+    for (const PendingSolve::Waiter& waiter : waiters) {
+      waiter.respond(
+          FormatSolveOk(waiter.id, response.value(), waiter.want_members));
+    }
   };
 
   const Status admitted =
       executor_.Submit(std::move(job), cost_model_.Estimate(cost_key),
                        solve_template.time_budget_seconds);
   if (!admitted.ok()) {
-    shed_.fetch_add(1, std::memory_order_relaxed);
-    respond(FormatError(id, admitted));
+    const std::vector<PendingSolve::Waiter> waiters = detach();
+    shed_.fetch_add(waiters.size(), std::memory_order_relaxed);
+    for (const PendingSolve::Waiter& waiter : waiters) {
+      waiter.respond(FormatError(waiter.id, admitted));
+    }
   }
 }
 
@@ -246,6 +329,7 @@ DsdServer::Stats DsdServer::stats() const {
   stats.completed = completed_.load(std::memory_order_relaxed);
   stats.failed = failed_.load(std::memory_order_relaxed);
   stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
   for (const std::string& name : registry_.Names()) {
     std::shared_ptr<ResidentGraph> resident = registry_.Find(name);
     if (resident == nullptr) continue;
@@ -266,6 +350,7 @@ std::string DsdServer::FormatStats(uint64_t id) const {
          " completed=" + std::to_string(stats.completed) +
          " failed=" + std::to_string(stats.failed) +
          " shed=" + std::to_string(stats.shed) +
+         " coalesced=" + std::to_string(stats.coalesced) +
          " queue=" + std::to_string(executor_.QueueDepth()) +
          " running=" + std::to_string(executor_.Running()) +
          " resident_bytes=" + std::to_string(stats.resident_bytes) +

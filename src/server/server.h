@@ -105,6 +105,7 @@ class DsdServer {
     uint64_t completed = 0;   ///< solves answered "ok"
     uint64_t failed = 0;      ///< solves answered "err" after running
     uint64_t shed = 0;        ///< solves refused at admission
+    uint64_t coalesced = 0;   ///< solves answered by riding a queued twin
     uint64_t resident_bytes = 0;  ///< CSR footprint over resident graphs
     CachingOracle::CacheStats cache;  ///< summed over resident graphs
   };
@@ -121,10 +122,22 @@ class DsdServer {
   ServerExecutor executor_;
   CostModel cost_model_;
 
+  // Batch admission: while a solve is still QUEUED, later requests with an
+  // identical (graph, algorithm, motif, params) key attach to it as extra
+  // waiters instead of occupying queue slots; the one execution fans its
+  // response out to every waiter (each under its own request id /
+  // members flag). The entry is removed the moment the job starts running
+  // — coalescing with an in-flight solve would return a result computed
+  // before the latecomer arrived.
+  struct PendingSolve;
+  std::mutex coalesce_mutex_;
+  std::map<std::string, std::shared_ptr<PendingSolve>> pending_solves_;
+
   std::atomic<uint64_t> received_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> coalesced_{0};
 
   std::atomic<bool> shutting_down_{false};
 

@@ -169,9 +169,10 @@ TEST(MotifCore, GammaBoundsCoreNumber) {
 }
 
 // CliqueOracle that raises a cancel flag after a fixed number of PeelVertex
-// calls — a deterministic way to stop a PeelBatch MID-bracket (the default
-// loop polls the context every 64 removals), exercising the partial-prefix
-// truncation path that wall-clock deadlines can't hit reproducibly.
+// calls — a deterministic way to stop a count MID-bracket (the default
+// CountPeelBatch loop checks the cancel flag before every removal),
+// exercising the partial-prefix truncation path that wall-clock deadlines
+// can't hit reproducibly.
 class CancelAfterPeelsOracle : public CliqueOracle {
  public:
   CancelAfterPeelsOracle(int h, int peel_budget, std::atomic<bool>* cancel)
@@ -191,9 +192,9 @@ class CancelAfterPeelsOracle : public CliqueOracle {
 
 TEST(MotifCore, MidBracketCancelTruncatesToPrefix) {
   // 100 disjoint triangles: every vertex has triangle-degree 1, so the
-  // whole graph is ONE 300-member bracket. The cancel flag rises at the
-  // 10th removal; the sequential batch loop notices at its 64-removal poll,
-  // so exactly 63 members of the bracket are peeled.
+  // whole graph is ONE 300-member bracket. The cancel flag rises during the
+  // 10th removal; the count loop's per-removal cancel check stops before
+  // the 11th, so exactly 10 members of the bracket are peeled.
   GraphBuilder b;
   const int kTriangles = 100;
   for (VertexId i = 0; i < kTriangles; ++i) {
@@ -210,7 +211,7 @@ TEST(MotifCore, MidBracketCancelTruncatesToPrefix) {
   const MotifCoreDecomposition d = MotifCoreDecompose(g, oracle, ctx);
 
   const size_t peeled = d.residual_density.size();
-  EXPECT_EQ(peeled, 63u);
+  EXPECT_EQ(peeled, 10u);
   ASSERT_LT(peeled, g.NumVertices());
   // The peeled prefix matches the untruncated run removal for removal
   // (densities bitwise, same order), and the unpeeled remainder is
@@ -231,18 +232,18 @@ TEST(MotifCore, MidBracketCancelTruncatesToPrefix) {
   }
 }
 
-// Oracle whose PeelBatch gives up before processing a single member — the
-// contract's zero-progress case (a deadline can fire inside PeelBatch
-// before its first chunk). The engine must treat it as a truncation and,
-// critically, must NOT raise kmax to the popped bracket's level: no vertex
-// was actually peeled there.
+// Oracle whose count stage gives up before processing a single member —
+// the contract's zero-progress case (a deadline can fire inside
+// CountPeelBatch before its first chunk). The engine must treat it as a
+// truncation and, critically, must NOT raise kmax to the popped bracket's
+// level: no vertex was actually peeled there.
 class ZeroProgressOracle : public CliqueOracle {
  public:
   explicit ZeroProgressOracle(int h) : CliqueOracle(h) {}
 
-  std::vector<uint64_t> PeelBatch(const Graph&, std::span<const VertexId>,
-                                  std::span<char>, const PeelCallback&,
-                                  const ExecutionContext&) const override {
+  std::vector<uint64_t> CountPeelBatch(const Graph&, std::span<const VertexId>,
+                                       std::span<char>, const PeelCallback&,
+                                       const ExecutionContext&) const override {
     return {};
   }
 };

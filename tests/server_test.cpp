@@ -10,10 +10,12 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -627,8 +629,10 @@ TEST(DsdServerConcurrencyTest, OverloadShedsTypedStatusesNotGarbage) {
   constexpr int kBurst = 24;
   ResponseSink sink;
   for (int j = 0; j < kBurst; ++j) {
-    server.Handle("solve graph=g algo=peel motif=triangle id=" +
-                      std::to_string(j),
+    // Distinct eps per request defeats batch-admission coalescing (eps is
+    // part of the coalescing key), so the burst genuinely fills the queue.
+    server.Handle("solve graph=g algo=peel motif=triangle eps=0." +
+                      std::to_string(100 + j) + " id=" + std::to_string(j),
                   sink.Callback());
   }
   const std::vector<std::string> responses = sink.Await(kBurst);
@@ -700,6 +704,106 @@ TEST(DsdServerConcurrencyTest, ShutdownDrainsAdmittedSolves) {
   EXPECT_EQ(ok, kAdmitted + 1);  // +1: the shutdown ack itself is "ok"
   EXPECT_EQ(shed_after_shutdown, 1);
   EXPECT_TRUE(server.ShuttingDown());
+}
+
+/// Solver that parks its worker until the test releases it — the
+/// deterministic way to keep a solve IN FLIGHT while requests pile into
+/// the admission queue behind it.
+class GateSolver : public Solver {
+ public:
+  static std::atomic<bool>& Entered() {
+    static std::atomic<bool> entered{false};
+    return entered;
+  }
+  static std::atomic<bool>& Released() {
+    static std::atomic<bool> released{false};
+    return released;
+  }
+
+  std::string Name() const override { return "test-gate"; }
+  std::string Description() const override {
+    return "parks until released (test fixture)";
+  }
+  DensestResult Run(const Graph&, const MotifOracle&, const SolveRequest&,
+                    const ExecutionContext&) const override {
+    Entered().store(true);
+    while (!Released().load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return {};
+  }
+};
+
+TEST(DsdServerConcurrencyTest, QueuedIdenticalSolvesCoalesceToOneExecution) {
+  static const bool registered =
+      SolverRegistry::Global().Register(std::make_unique<GateSolver>()).ok();
+  ASSERT_TRUE(registered);
+  GateSolver::Entered().store(false);
+  GateSolver::Released().store(false);
+
+  ServerOptions options;
+  options.hardware_threads = 1;
+  options.workers = 1;  // single worker: the gate solve stalls the queue
+  options.max_queue = 64;
+  DsdServer server(options);
+  ASSERT_TRUE(server.AddGraph("g", gen::PlantedClique(150, 0.05, 9, 13)).ok());
+
+  ResponseSink sink;
+  server.Handle("solve graph=g algo=test-gate motif=edge id=99",
+                sink.Callback());
+  while (!GateSolver::Entered().load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Six identical solves arrive while the worker is parked: the first one
+  // queues, the other five attach to it as waiters instead of occupying
+  // queue slots. Nothing can execute until the gate opens, so the
+  // coalescing outcome is deterministic.
+  constexpr int kClients = 6;
+  for (int j = 0; j < kClients; ++j) {
+    server.Handle("solve graph=g algo=peel motif=triangle members=1 id=" +
+                      std::to_string(j),
+                  sink.Callback());
+  }
+  GateSolver::Released().store(true);
+  const std::vector<std::string> responses = sink.Await(kClients + 1);
+
+  // Every waiter got its own response under its own id, bit-identical to
+  // the others in everything but the id (and wall time).
+  std::map<uint64_t, std::string> members_by_id;
+  ParityFields first;
+  bool have_first = false;
+  for (const std::string& payload : responses) {
+    StatusOr<WireResponse> parsed = ParseWireResponse(payload);
+    ASSERT_TRUE(parsed.ok()) << payload;
+    ASSERT_TRUE(parsed.value().ok) << payload;
+    if (parsed.value().id == 99) continue;  // the gate solve's own response
+    const ParityFields parity = ExtractParity(payload);
+    if (!have_first) {
+      first = parity;
+      have_first = true;
+    } else {
+      EXPECT_EQ(parity, first) << payload;
+    }
+    members_by_id[parsed.value().id] = parsed.value().fields.at("members");
+  }
+  ASSERT_EQ(members_by_id.size(), static_cast<size_t>(kClients));
+  for (int j = 1; j < kClients; ++j) {
+    EXPECT_EQ(members_by_id.at(j), members_by_id.at(0));
+  }
+
+  ResponseSink stats_sink;
+  server.Handle("stats id=7", stats_sink.Callback());
+  StatusOr<WireResponse> stats = ParseWireResponse(stats_sink.Await(1)[0]);
+  ASSERT_TRUE(stats.ok());
+  uint64_t coalesced = 0;
+  uint64_t completed = 0;
+  ASSERT_TRUE(stats.value().GetUint("coalesced", &coalesced));
+  ASSERT_TRUE(stats.value().GetUint("completed", &completed));
+  // One execution answered all six; each waiter still counts as a
+  // completed solve, and the five riders as coalesced.
+  EXPECT_EQ(coalesced, static_cast<uint64_t>(kClients - 1));
+  EXPECT_EQ(completed, static_cast<uint64_t>(kClients + 1));
 }
 
 // ---------------------------------------------------------------------------
